@@ -1,0 +1,94 @@
+// Ablation A2: collective-algorithm choice on the 528-node Delta.
+//
+// The LU reproduction leans on broadcasts (panels along rows, U blocks
+// down columns) and allreduces (pivot search). This harness measures the
+// alternatives the library implements — binomial tree, ring pipeline,
+// flat fan-out, recursive doubling — across payload sizes, to justify
+// the defaults.
+#include <cstdio>
+#include <vector>
+
+#include "nx/collectives.hpp"
+#include "nx/machine_runtime.hpp"
+#include "proc/machine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hpccsim;
+using nx::CollectiveAlgo;
+
+double time_bcast(const proc::MachineConfig& mc, Bytes bytes,
+                  CollectiveAlgo algo) {
+  nx::NxMachine machine(mc);
+  return machine
+      .run([bytes, algo](nx::NxContext& ctx) -> sim::Task<> {
+        nx::Group world = nx::Group::world(ctx);
+        co_await nx::bcast(ctx, world, 0, bytes, {}, algo);
+      })
+      .as_us();
+}
+
+double time_allreduce(const proc::MachineConfig& mc, Bytes bytes,
+                      CollectiveAlgo algo) {
+  nx::NxMachine machine(mc);
+  return machine
+      .run([bytes, algo](nx::NxContext& ctx) -> sim::Task<> {
+        nx::Group world = nx::Group::world(ctx);
+        co_await nx::allreduce(ctx, world, nx::ReduceOp::Sum, bytes, {},
+                               algo);
+      })
+      .as_us();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("ablate_collectives",
+                 "collective algorithms on the 528-node Delta");
+  args.add_option("nodes", "node count (0 = full machine)", "0");
+  args.add_flag("csv", "emit CSV");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (args.flag("help")) {
+    std::printf("%s", args.usage().c_str());
+    return 0;
+  }
+
+  proc::MachineConfig mc = proc::touchstone_delta();
+  if (args.integer("nodes") > 0)
+    mc = mc.with_nodes(static_cast<std::int32_t>(args.integer("nodes")));
+  std::printf("== A2: collectives on %s (%d nodes) ==\n", mc.name.c_str(),
+              mc.node_count());
+
+  const std::vector<Bytes> sizes{8, 1024, 65536, 1048576};
+
+  Table tb({"bytes", "bcast binomial (us)", "bcast ring (us)",
+            "bcast flat (us)"});
+  for (const Bytes b : sizes) {
+    tb.add_row({Table::integer(static_cast<std::int64_t>(b)),
+                Table::num(time_bcast(mc, b, CollectiveAlgo::Binomial), 0),
+                Table::num(time_bcast(mc, b, CollectiveAlgo::Ring), 0),
+                Table::num(time_bcast(mc, b, CollectiveAlgo::Flat), 0)});
+  }
+  std::printf("%s\n", args.flag("csv") ? tb.csv().c_str() : tb.ascii().c_str());
+
+  Table ta({"bytes", "allreduce binomial (us)", "allreduce ring (us)"});
+  for (const Bytes b : sizes) {
+    ta.add_row({Table::integer(static_cast<std::int64_t>(b)),
+                Table::num(time_allreduce(mc, b, CollectiveAlgo::Binomial), 0),
+                Table::num(time_allreduce(mc, b, CollectiveAlgo::Ring), 0)});
+  }
+  std::printf("%s\n", args.flag("csv") ? ta.csv().c_str() : ta.ascii().c_str());
+  std::printf("expected: binomial wins across the board at P=528 (log2(P) "
+              "steps); ring pays P-1 serial software overheads so it is "
+              "worst for small payloads; flat fan-out is root-bound "
+              "(527 serial sends) and catches ring only at large "
+              "payloads\n");
+  return 0;
+}

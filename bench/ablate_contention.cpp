@@ -1,0 +1,101 @@
+// Ablation A1: is the cheap analytical link-reservation model a faithful
+// stand-in for the flit-level wormhole simulator?
+//
+// Methodology: generate identical traffic traces, run both models, and
+// compare mean/p95 latency per pattern and load. The analytical model is
+// what the LINPACK reproduction runs on (flit-level at 528 nodes x 3.4M
+// messages would be prohibitive), so its agreement here is what makes
+// the F1 result credible.
+#include <cstdio>
+
+#include "mesh/analytical.hpp"
+#include "mesh/flit.hpp"
+#include "mesh/traffic.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpccsim;
+  using namespace hpccsim::mesh;
+  ArgParser args("ablate_contention",
+                 "analytical vs flit-level mesh model agreement");
+  args.add_option("width", "mesh width", "8");
+  args.add_option("height", "mesh height", "8");
+  args.add_option("messages", "messages per node", "60");
+  args.add_option("bytes", "message size", "512");
+  args.add_flag("csv", "emit CSV");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (args.flag("help")) {
+    std::printf("%s", args.usage().c_str());
+    return 0;
+  }
+
+  const Mesh2D mesh(static_cast<std::int32_t>(args.integer("width")),
+                    static_cast<std::int32_t>(args.integer("height")));
+  AnalyticalParams ap;           // Delta-like link speed
+  FlitParams fp;
+  fp.channel_bw = ap.channel_bw;
+
+  std::printf("== A1: contention-model ablation on a %s ==\n",
+              mesh.describe().c_str());
+  Table t({"pattern", "gap (us)", "analytical mean (us)", "flit mean (us)",
+           "ratio", "analytical p95", "flit p95"});
+
+  for (const Pattern p :
+       {Pattern::UniformRandom, Pattern::Transpose, Pattern::HotSpot}) {
+    for (const double gap_us : {500.0, 100.0, 40.0}) {
+      TrafficConfig cfg;
+      cfg.pattern = p;
+      cfg.messages_per_node = static_cast<std::int32_t>(args.integer("messages"));
+      cfg.message_bytes = static_cast<Bytes>(args.integer("bytes"));
+      cfg.mean_gap = sim::Time::us(gap_us);
+      cfg.seed = 1992;
+      const auto trace = generate_traffic(mesh, cfg);
+
+      // Analytical model.
+      AnalyticalMeshNet anet(mesh, ap);
+      RunningStat a_lat;
+      LogHistogram a_hist;
+      for (const auto& r : trace) {
+        const sim::Time arr = anet.transfer(r.src, r.dst, r.bytes, r.depart);
+        a_lat.add((arr - r.depart).as_us());
+        a_hist.add((arr - r.depart).as_us());
+      }
+
+      // Flit-level model on the identical trace.
+      FlitNetwork fnet(mesh, fp);
+      const double cyc_us = fnet.cycle_time().as_us();
+      for (const auto& r : trace)
+        fnet.inject(r.src, r.dst, r.bytes,
+                    static_cast<std::uint64_t>(r.depart.as_us() / cyc_us));
+      fnet.run();
+      RunningStat f_lat;
+      LogHistogram f_hist;
+      for (std::size_t i = 0; i < fnet.messages().size(); ++i) {
+        const double lat =
+            static_cast<double>(fnet.latency_cycles(i)) * cyc_us;
+        f_lat.add(lat);
+        f_hist.add(lat);
+      }
+
+      t.add_row({pattern_name(p), Table::num(gap_us, 0),
+                 Table::num(a_lat.mean(), 1), Table::num(f_lat.mean(), 1),
+                 Table::num(a_lat.mean() / f_lat.mean(), 2),
+                 Table::num(a_hist.p95(), 1), Table::num(f_hist.p95(), 1)});
+    }
+  }
+  std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());
+  std::printf("expected: agreement within ~1.5x at low load and ~2x deep in "
+              "saturation; right at the saturation knee the analytical "
+              "model is pessimistic for uniform traffic (it has no router "
+              "buffering) and optimistic for hotspot (no tree saturation). "
+              "The LU workload operates in the low-load regime, where "
+              "agreement is tightest.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation A3: how much does the interconnect matter to the LINPACK
+// result?
+//
+// Re-runs the modeled LU while swapping out aspects of the Delta's
+// communication system: an ideal contention-free crossbar, doubled /
+// halved channel bandwidth, and zero messaging-software overhead. The
+// spread between rows quantifies what actually limits the 13 GFLOPS
+// figure (spoiler: software overhead and panel-phase latency more than
+// raw link bandwidth).
+#include <cstdio>
+
+#include "linalg/distlu.hpp"
+#include "proc/machine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hpccsim;
+
+double run_gflops(const proc::MachineConfig& mc, nx::NetKind net,
+                  std::int64_t n) {
+  nx::NxMachine machine(mc, net);
+  linalg::LuConfig cfg = linalg::lu_config_for(machine, n, 64);
+  return linalg::run_distributed_lu(machine, cfg).gflops;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("ablate_network", "interconnect ablation for the LU run");
+  args.add_option("n", "problem orders", "5000,15000,25000");
+  args.add_flag("csv", "emit CSV");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (args.flag("help")) {
+    std::printf("%s", args.usage().c_str());
+    return 0;
+  }
+
+  const proc::MachineConfig base = proc::touchstone_delta();
+  struct Variant {
+    const char* name;
+    proc::MachineConfig mc;
+    nx::NetKind net;
+  };
+  proc::MachineConfig fast_links = base;
+  fast_links.net.channel_bw = mb_per_s(50.0);
+  proc::MachineConfig slow_links = base;
+  slow_links.net.channel_bw = mb_per_s(12.5);
+  proc::MachineConfig no_sw = base;
+  no_sw.send_overhead = sim::Time::zero();
+  no_sw.recv_overhead = sim::Time::zero();
+
+  const Variant variants[] = {
+      {"delta (baseline)", base, nx::NetKind::AnalyticalMesh},
+      {"ideal crossbar", base, nx::NetKind::Crossbar},
+      {"2x channel bw", fast_links, nx::NetKind::AnalyticalMesh},
+      {"0.5x channel bw", slow_links, nx::NetKind::AnalyticalMesh},
+      {"zero sw overhead", no_sw, nx::NetKind::AnalyticalMesh},
+  };
+
+  std::printf("== A3: interconnect ablation, 528-node LU ==\n");
+  std::vector<std::string> header{"variant"};
+  const auto orders = args.int_list("n");
+  for (const auto n : orders)
+    header.push_back("GFLOPS @ n=" + std::to_string(n));
+  Table t(std::move(header));
+  for (const auto& v : variants) {
+    std::vector<std::string> row{v.name};
+    for (const auto n : orders)
+      row.push_back(Table::num(run_gflops(v.mc, v.net, n), 2));
+    t.add_row(std::move(row));
+  }
+  std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());
+  std::printf("expected: removing the messaging-software overhead helps "
+              "most at small n (latency-bound panels); channel bandwidth "
+              "matters more as n grows (panel/U broadcasts); the ideal "
+              "crossbar bounds the total network contribution\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation A8: deterministic XY vs turn-model adaptive routing.
+//
+// The Delta's mesh chips routed XY (simple, deterministic); the
+// academic literature of the day argued for adaptive routers. The
+// flit-level simulator implements both (west-first turn model), so the
+// trade can be measured: adaptivity helps adversarial/hot traffic and
+// costs nothing on benign patterns.
+#include <cstdio>
+
+#include "mesh/flit.hpp"
+#include "mesh/traffic.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hpccsim;
+using namespace hpccsim::mesh;
+
+double mean_latency_us(const Mesh2D& mesh, RouteAlgo algo, Pattern pattern,
+                       double gap_us, std::uint64_t seed) {
+  TrafficConfig cfg;
+  cfg.pattern = pattern;
+  cfg.messages_per_node = 40;
+  cfg.message_bytes = 256;
+  cfg.mean_gap = sim::Time::us(gap_us);
+  cfg.hotspot_fraction = 0.3;
+  cfg.seed = seed;
+  FlitParams fp;
+  fp.routing = algo;
+  FlitNetwork net(mesh, fp);
+  const double cyc_us = net.cycle_time().as_us();
+  for (const auto& t : generate_traffic(mesh, cfg))
+    net.inject(t.src, t.dst, t.bytes,
+               static_cast<std::uint64_t>(t.depart.as_us() / cyc_us));
+  net.run();
+  RunningStat lat;
+  for (std::size_t i = 0; i < net.messages().size(); ++i)
+    lat.add(static_cast<double>(net.latency_cycles(i)) * cyc_us);
+  return lat.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("ablate_routing", "XY vs west-first adaptive routing");
+  args.add_option("width", "mesh width", "8");
+  args.add_option("height", "mesh height", "8");
+  args.add_flag("csv", "emit CSV");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (args.flag("help")) {
+    std::printf("%s", args.usage().c_str());
+    return 0;
+  }
+
+  const Mesh2D mesh(static_cast<std::int32_t>(args.integer("width")),
+                    static_cast<std::int32_t>(args.integer("height")));
+  std::printf("== A8: routing ablation on a %s ==\n",
+              mesh.describe().c_str());
+  Table t({"pattern", "gap (us)", "xy mean (us)", "west-first mean (us)",
+           "adaptive gain"});
+  for (const Pattern p : {Pattern::UniformRandom, Pattern::Transpose,
+                          Pattern::HotSpot}) {
+    for (const double gap : {300.0, 80.0, 40.0}) {
+      const double xy = mean_latency_us(mesh, RouteAlgo::XY, p, gap, 77);
+      const double wf =
+          mean_latency_us(mesh, RouteAlgo::WestFirst, p, gap, 77);
+      t.add_row({pattern_name(p), Table::num(gap, 0), Table::num(xy, 1),
+                 Table::num(wf, 1), Table::percent(xy / wf - 1.0, 1)});
+    }
+  }
+  std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());
+  std::printf("expected (and classic in the literature): near-zero "
+              "difference at low load; large adaptive gains on transpose "
+              "(it spreads the bisection hotspots XY creates); no gain on "
+              "hotspot traffic (the ejection port is the bottleneck, no "
+              "route avoids it); and a LOSS on deeply saturated uniform "
+              "traffic, where adaptive misrouting spreads congestion\n");
+  return 0;
+}

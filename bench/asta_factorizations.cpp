@@ -1,0 +1,66 @@
+// Exhibit A10 (ASTA extension): the two dense factorizations compared.
+//
+// LU (with pivoting) is the LINPACK benchmark; QR is the numerically
+// robust alternative the CAS least-squares and eigen codes used. QR does
+// twice the flops and is reduction-bound in its panel phase, so its
+// sustained fraction of peak trails LU's — the classic trade, measured
+// here on the full simulated Delta.
+#include <cstdio>
+
+#include "linalg/distlu.hpp"
+#include "linalg/distqr.hpp"
+#include "proc/machine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpccsim;
+  ArgParser args("asta_factorizations", "LU vs QR on the simulated Delta");
+  args.add_option("n", "problem orders", "1000,2000,4000,8000");
+  args.add_option("nodes", "node count (0 = full 528)", "64");
+  args.add_flag("csv", "emit CSV");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (args.flag("help")) {
+    std::printf("%s", args.usage().c_str());
+    return 0;
+  }
+
+  proc::MachineConfig mc = proc::touchstone_delta();
+  if (args.integer("nodes") > 0)
+    mc = mc.with_nodes(static_cast<std::int32_t>(args.integer("nodes")));
+  std::printf("== A10: LU vs QR on %s (%d nodes) ==\n", mc.name.c_str(),
+              mc.node_count());
+
+  Table t({"n", "LU time (s)", "LU GFLOPS", "QR time (s)", "QR GFLOPS",
+           "QR/LU time"});
+  for (const std::int64_t n : args.int_list("n")) {
+    nx::NxMachine lu_machine(mc);
+    const auto lu = linalg::run_distributed_lu(
+        lu_machine, linalg::lu_config_for(lu_machine, n, 64));
+
+    nx::NxMachine qr_machine(mc);
+    linalg::QrConfig qc;
+    qc.n = n;
+    qc.nb = 64;
+    qc.grid = linalg::ProcessGrid{mc.mesh_height, mc.mesh_width};
+    qc.mode = linalg::ExecMode::Modeled;
+    const auto qr = linalg::run_distributed_qr(qr_machine, qc);
+
+    t.add_row({Table::integer(n), Table::num(lu.elapsed.as_sec(), 2),
+               Table::num(lu.gflops, 2), Table::num(qr.elapsed.as_sec(), 2),
+               Table::num(qr.gflops, 2),
+               Table::num(qr.elapsed.as_sec() / lu.elapsed.as_sec(), 2)});
+  }
+  std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());
+  std::printf("expected: at small orders both are latency-bound and tie "
+              "(QR's per-column collectives mirror LU's pivot search); as "
+              "n grows QR's 2x flops and reduction-bound panel push its "
+              "time toward 2x LU's, while its headline GFLOPS (4/3 n^3) "
+              "stays ~2x LU's by construction\n");
+  return 0;
+}

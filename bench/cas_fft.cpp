@@ -1,0 +1,66 @@
+// Exhibit A5 (CAS extension): distributed FFT — the alltoall workload.
+//
+// Spectral CFD codes in the aerosciences program are transpose-FFT
+// bound: the global transpose moves the entire dataset across the mesh
+// bisection every timestep. This harness sweeps problem size and node
+// count, reporting sustained MFLOPS and the share of time the transpose
+// costs, on the simulated Delta.
+#include <cstdio>
+
+#include "linalg/fft.hpp"
+#include "proc/machine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpccsim;
+  ArgParser args("cas_fft", "distributed four-step FFT on the Delta");
+  args.add_flag("csv", "emit CSV");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (args.flag("help")) {
+    std::printf("%s", args.usage().c_str());
+    return 0;
+  }
+
+  std::printf("== A5: four-step FFT (modeled) on the Touchstone Delta ==\n");
+  Table t({"nodes", "N (points)", "time (ms)", "MFLOPS", "% of peak",
+           "GB transposed"});
+  struct Pt {
+    int nodes;
+    std::int64_t n1, n2;
+  };
+  // Node counts are powers of two: the radix-2 four-step FFT needs the
+  // bands to divide the transform sizes, so (as on the real Delta) FFT
+  // jobs ran on power-of-two partitions, not all 528 nodes.
+  const Pt points[] = {
+      {16, 1024, 1024},  {64, 1024, 1024},  {64, 4096, 4096},
+      {256, 4096, 4096}, {512, 4096, 4096},
+  };
+  for (const auto& p : points) {
+    const proc::MachineConfig mc =
+        proc::touchstone_delta().with_nodes(p.nodes);
+    nx::NxMachine machine(mc);
+    linalg::FftConfig cfg;
+    cfg.n1 = p.n1;
+    cfg.n2 = p.n2;
+    cfg.numeric = false;
+    const linalg::FftResult r = linalg::run_distributed_fft(machine, cfg);
+    const double peak_mflops = mc.machine_peak().mflops();
+    t.add_row({Table::integer(p.nodes),
+               Table::integer(p.n1 * p.n2),
+               Table::num(r.elapsed.as_ms(), 1), Table::num(r.mflops, 0),
+               Table::num(r.mflops / peak_mflops * 100.0, 1),
+               Table::num(static_cast<double>(r.bytes_moved) / 1e9, 3)});
+  }
+  std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());
+  std::printf("expected: FFT sustains a far lower fraction of peak than LU "
+              "— it is bisection-bandwidth bound, the reason spectral "
+              "codes pushed for the gigabit NREN interconnects the paper "
+              "funds\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Exhibit F1: the Delta LINPACK result.
+//
+// Paper claims (Concurrent Supercomputer Consortium slide):
+//   - "PEAK SPEED OF 32 GFLOPS USING THE 528 NUMERIC PROCESSORS"
+//   - "13 GFLOPS SPEED OBTAINED ON A LINPAC BENCHMARK CODE OF ORDER
+//      25,000 BY 25,000"
+//
+// This harness sweeps the problem order n on the simulated 528-node
+// Delta (modeled execution: identical message schedule, kernel-model
+// compute) and reports GFLOPS, efficiency against the 32 GFLOPS peak,
+// and the communication/computation split. The paper's operating point
+// is the n = 25,000 row.
+#include <cstdio>
+
+#include "linalg/distlu.hpp"
+#include "proc/machine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpccsim;
+  ArgParser args("fig1_linpack", "Delta LINPACK sweep (GFLOPS vs order n)");
+  args.add_option("machine", "machine preset (delta, gamma)", "delta");
+  args.add_option("n", "comma-separated problem orders",
+                  "1000,2500,5000,10000,15000,20000,25000");
+  args.add_option("nb", "block size", "64");
+  args.add_flag("csv", "emit CSV");
+  args.add_flag("nb-sweep", "also sweep the block size at n=25000");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (args.flag("help")) {
+    std::printf("%s", args.usage().c_str());
+    return 0;
+  }
+
+  const proc::MachineConfig mc = proc::machine_by_name(args.str("machine"));
+  const double peak = mc.machine_peak().gflops();
+  std::printf("== F1: LINPACK on %s (%d nodes, peak %.1f GFLOPS) ==\n",
+              mc.name.c_str(), mc.node_count(), peak);
+
+  Table t({"n", "NB", "time (s)", "GFLOPS", "% of peak", "messages",
+           "GB moved"});
+  for (const std::int64_t n : args.int_list("n")) {
+    nx::NxMachine machine(mc);
+    linalg::LuConfig cfg = linalg::lu_config_for(machine, n,
+                                                 args.integer("nb"));
+    const linalg::LuResult r = linalg::run_distributed_lu(machine, cfg);
+    t.add_row({Table::integer(n), Table::integer(cfg.nb),
+               Table::num(r.elapsed.as_sec(), 1), Table::num(r.gflops, 2),
+               Table::num(r.gflops / peak * 100.0, 1),
+               Table::integer(static_cast<std::int64_t>(r.messages)),
+               Table::num(static_cast<double>(r.bytes_moved) / 1e9, 2)});
+  }
+  std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());
+  std::printf("paper's operating point: n=25000 -> ~13 GFLOPS "
+              "(~40%% of the 32 GFLOPS peak)\n\n");
+
+  if (args.flag("nb-sweep")) {
+    std::printf("== F1b: block-size sensitivity at n=25000 ==\n");
+    Table s({"NB", "GFLOPS", "% of peak"});
+    for (const std::int64_t nb : {16, 32, 64, 128, 256}) {
+      nx::NxMachine machine(mc);
+      linalg::LuConfig cfg = linalg::lu_config_for(machine, 25000, nb);
+      const linalg::LuResult r = linalg::run_distributed_lu(machine, cfg);
+      s.add_row({Table::integer(nb), Table::num(r.gflops, 2),
+                 Table::num(r.gflops / peak * 100.0, 1)});
+    }
+    std::printf("%s\n",
+                args.flag("csv") ? s.csv().c_str() : s.ascii().c_str());
+  }
+  return 0;
+}

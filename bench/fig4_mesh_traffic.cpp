@@ -1,0 +1,77 @@
+// Exhibit F4: behaviour of the Delta's 2-D wormhole mesh under load.
+//
+// The paper's architecture claims rest on the mesh interconnect; this
+// harness characterizes it the way the interconnect literature does:
+// offered load vs delivered latency for the classic traffic patterns,
+// on the full 33 x 16 mesh with the analytical contention model.
+#include <cstdio>
+
+#include "mesh/analytical.hpp"
+#include "mesh/traffic.hpp"
+#include "proc/machine.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpccsim;
+  using namespace hpccsim::mesh;
+  ArgParser args("fig4_mesh_traffic", "Delta mesh latency under load");
+  args.add_option("messages", "messages per node per point", "200");
+  args.add_option("bytes", "message size in bytes", "1024");
+  args.add_flag("csv", "emit CSV");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (args.flag("help")) {
+    std::printf("%s", args.usage().c_str());
+    return 0;
+  }
+
+  const proc::MachineConfig mc = proc::touchstone_delta();
+  const Mesh2D mesh = mc.mesh();
+  std::printf("== F4: %s wormhole mesh, %llu-byte messages ==\n",
+              mesh.describe().c_str(),
+              static_cast<unsigned long long>(args.integer("bytes")));
+
+  Table t({"pattern", "gap (us)", "offered MB/s/node", "mean lat (us)",
+           "p95 lat (us)", "mean queue (us)"});
+  for (const Pattern p : {Pattern::UniformRandom, Pattern::Transpose,
+                          Pattern::BitReversal, Pattern::HotSpot,
+                          Pattern::NearestNeighbour}) {
+    for (const double gap_us : {4000.0, 2000.0, 1000.0, 500.0, 200.0, 50.0}) {
+      TrafficConfig cfg;
+      cfg.pattern = p;
+      cfg.messages_per_node = static_cast<std::int32_t>(args.integer("messages"));
+      cfg.message_bytes = static_cast<Bytes>(args.integer("bytes"));
+      cfg.mean_gap = sim::Time::us(gap_us);
+      cfg.seed = 92;
+      const auto trace = generate_traffic(mesh, cfg);
+
+      AnalyticalMeshNet net(mesh, mc.net);
+      RunningStat latency_us;
+      LogHistogram hist;
+      for (const auto& rec : trace) {
+        const sim::Time arr = net.transfer(rec.src, rec.dst, rec.bytes,
+                                           rec.depart);
+        const double lat = (arr - rec.depart).as_us();
+        latency_us.add(lat);
+        hist.add(lat);
+      }
+      const double offered =
+          static_cast<double>(cfg.message_bytes) / (gap_us * 1e-6) / 1e6;
+      t.add_row({pattern_name(p), Table::num(gap_us, 0),
+                 Table::num(offered, 2), Table::num(latency_us.mean(), 1),
+                 Table::num(hist.p95(), 1),
+                 Table::num(net.contention_delay_us().mean(), 2)});
+    }
+  }
+  std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());
+  std::printf("expected shape: latency flat at low load, knee near channel "
+              "saturation; hotspot saturates first, nearest-neighbour "
+              "last; transpose/bit-reversal stress the bisection\n");
+  return 0;
+}

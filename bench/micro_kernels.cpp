@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) for the hot host-side paths: the
+// local BLAS kernels that numeric mode executes, the reference LU, the
+// event engine, XY routing, and the flit router step. These measure the
+// *simulator's* speed on the host, not simulated time.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "core/task.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+#include "mesh/analytical.hpp"
+#include "mesh/flit.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hpccsim;
+using linalg::Index;
+using linalg::Matrix;
+
+void BM_dgemm_minus(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(1);
+  const Matrix a = Matrix::random(n, n, rng);
+  const Matrix b = Matrix::random(n, n, rng);
+  Matrix c = Matrix::random(n, n, rng);
+  for (auto _ : state) {
+    linalg::dgemm_minus(n, n, n, a.data().data(), n, b.data().data(), n,
+                        c.data().data(), n);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_dgemm_minus)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_dgetrf(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(2);
+  const Matrix a = Matrix::random(n, n, rng);
+  std::vector<Index> piv(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    Matrix lu = a;
+    benchmark::DoNotOptimize(linalg::dgetrf(lu, piv, 32));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(2.0 / 3.0 * static_cast<double>(n * n * n)));
+}
+BENCHMARK(BM_dgetrf)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_dgetf2_panel(benchmark::State& state) {
+  const Index m = state.range(0), nb = 32;
+  Rng rng(3);
+  const Matrix a = Matrix::random(m, nb, rng);
+  std::vector<Index> piv(static_cast<std::size_t>(nb));
+  for (auto _ : state) {
+    Matrix panel = a;
+    benchmark::DoNotOptimize(
+        linalg::dgetf2(m, nb, panel.data().data(), m, piv));
+  }
+}
+BENCHMARK(BM_dgetf2_panel)->Arg(256)->Arg(1024);
+
+void BM_engine_events(benchmark::State& state) {
+  // Throughput of schedule/dispatch cycles: the simulator's heartbeat.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine e;
+    const int n_events = 10000;
+    state.ResumeTiming();
+    for (int i = 0; i < n_events; ++i)
+      e.schedule_call(sim::Time::ns(100 * (i % 97)), [] {});
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_engine_events);
+
+void BM_coroutine_pingpong(benchmark::State& state) {
+  // Round-trip cost of two processes exchanging through a trigger chain.
+  for (auto _ : state) {
+    sim::Engine e;
+    e.spawn([](sim::Engine& eng) -> sim::Task<> {
+      for (int i = 0; i < 1000; ++i) co_await eng.delay(sim::Time::ns(10));
+    }(e));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_coroutine_pingpong);
+
+void BM_xy_route(benchmark::State& state) {
+  const mesh::Mesh2D m(33, 16);
+  Rng rng(4);
+  for (auto _ : state) {
+    const auto a = static_cast<mesh::NodeId>(rng.below(528));
+    const auto b = static_cast<mesh::NodeId>(rng.below(528));
+    benchmark::DoNotOptimize(m.xy_route(a, b));
+  }
+}
+BENCHMARK(BM_xy_route);
+
+void BM_analytical_transfer(benchmark::State& state) {
+  mesh::AnalyticalMeshNet net(mesh::Mesh2D(33, 16), mesh::AnalyticalParams{});
+  Rng rng(5);
+  sim::Time t = sim::Time::zero();
+  for (auto _ : state) {
+    const auto a = static_cast<mesh::NodeId>(rng.below(528));
+    const auto b = static_cast<mesh::NodeId>(rng.below(528));
+    t += sim::Time::ns(50);
+    benchmark::DoNotOptimize(net.transfer(a, b, 1024, t));
+  }
+}
+BENCHMARK(BM_analytical_transfer);
+
+void BM_flit_step(benchmark::State& state) {
+  mesh::FlitNetwork net(mesh::Mesh2D(8, 8), mesh::FlitParams{});
+  Rng rng(6);
+  for (int i = 0; i < 128; ++i) {
+    const auto s = static_cast<mesh::NodeId>(rng.below(64));
+    auto d = static_cast<mesh::NodeId>(rng.below(64));
+    if (d == s) d = (d + 1) % 64;
+    net.inject(s, d, 256, 0);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(net.step());
+}
+BENCHMARK(BM_flit_step);
+
+}  // namespace

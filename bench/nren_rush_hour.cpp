@@ -1,0 +1,107 @@
+// Exhibit A7 (NREN extension): consortium rush hour, before and after
+// the NREN upgrade.
+//
+// The paper's NREN component funds "technology development and
+// coordination for gigabit networks". This harness quantifies the case:
+// every partner pulls a results file off the Delta simultaneously
+// (flow-level max-min sharing), on (a) the 1992 network as drawn in the
+// figure, and (b) an NREN-upgraded network (T3 tails, gigabit
+// backbone). Mean and worst transfer times tell the story.
+#include <cstdio>
+
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "wan/consortium.hpp"
+#include "wan/flows.hpp"
+
+namespace {
+
+using namespace hpccsim;
+using namespace hpccsim::wan;
+
+/// The consortium network with NREN-era service levels: 56k and T1
+/// tails become T3; the T3 backbone becomes HIPPI/SONET-class.
+Wan upgraded_consortium() {
+  const Wan base = consortium_network();
+  Wan up;
+  for (const auto& name : consortium_sites()) up.add_site(name);
+  for (const auto& l : base.links()) {
+    LinkType t = l.type;
+    if (t == LinkType::Regional56k || t == LinkType::T1) t = LinkType::T3;
+    else if (t == LinkType::T3) t = LinkType::HippiSonet;
+    up.add_link(l.a, l.b, t, l.propagation);
+  }
+  return up;
+}
+
+struct RushResult {
+  double mean_s = 0.0;
+  double worst_s = 0.0;
+  double mean_slowdown = 0.0;
+};
+
+RushResult rush_hour(const Wan& net, Bytes bytes) {
+  FlowSimulator sim(net);
+  const SiteId delta = net.site_by_name("Caltech-Delta");
+  for (SiteId s = 0; s < net.site_count(); ++s) {
+    if (s == delta) continue;
+    const auto& name = net.site_name(s);
+    if (name.rfind("NSFnet", 0) == 0 || name == "ESnet-Hub")
+      continue;  // backbone nodes are not endpoints
+    sim.add_flow(delta, s, bytes);
+  }
+  sim.run();
+  RushResult r;
+  RunningStat dur, slow;
+  for (const auto& f : sim.flows()) {
+    dur.add((f.finish - f.start).as_sec());
+    slow.add(f.slowdown);
+  }
+  r.mean_s = dur.mean();
+  r.worst_s = dur.max();
+  r.mean_slowdown = slow.mean();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("nren_rush_hour",
+                 "simultaneous consortium pulls, 1992 vs NREN network");
+  args.add_option("mb", "file sizes in MB", "1,10,100");
+  args.add_flag("csv", "emit CSV");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (args.flag("help")) {
+    std::printf("%s", args.usage().c_str());
+    return 0;
+  }
+
+  const Wan now = consortium_network();
+  const Wan nren = upgraded_consortium();
+
+  std::printf("== A7: every partner pulls from the Delta at once ==\n");
+  Table t({"file (MB)", "network", "mean transfer (s)", "worst (s)",
+           "mean slowdown"});
+  for (const std::int64_t mb : args.int_list("mb")) {
+    const Bytes bytes = static_cast<Bytes>(mb) * 1000 * 1000;
+    for (const auto& [label, net] :
+         {std::pair<const char*, const Wan*>{"1992 (as drawn)", &now},
+          std::pair<const char*, const Wan*>{"NREN upgrade", &nren}}) {
+      const RushResult r = rush_hour(*net, bytes);
+      t.add_row({Table::integer(mb), label, Table::num(r.mean_s, 1),
+                 Table::num(r.worst_s, 1), Table::num(r.mean_slowdown, 2)});
+    }
+  }
+  std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());
+  std::printf("expected: the 1992 worst case (56 kbps tail) is hours for "
+              "100 MB; the NREN upgrade collapses the spread by ~2 orders "
+              "of magnitude — the quantitative case for the program's "
+              "gigabit line item\n");
+  return 0;
+}

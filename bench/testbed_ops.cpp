@@ -1,0 +1,63 @@
+// Exhibit A6 (testbed-operations extension): a consortium day at the
+// Delta machine room.
+//
+// The paper's APPROACH slide — "establish high performance computing
+// testbeds" used by "application software teams" — in operation means a
+// batch queue feeding a space-shared mesh. This harness replays a
+// representative day of consortium jobs (hero runs, production sweeps,
+// debug jobs) under FCFS and EASY-backfill, reporting the metrics a
+// testbed operator lived by.
+#include <cstdio>
+
+#include "sched/batch.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpccsim;
+  using namespace hpccsim::sched;
+  ArgParser args("testbed_ops", "batch scheduling on the space-shared Delta");
+  args.add_option("jobs", "jobs in the day's workload", "150");
+  args.add_option("seeds", "workload seeds to average over", "3,17,29");
+  args.add_flag("csv", "emit CSV");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (args.flag("help")) {
+    std::printf("%s", args.usage().c_str());
+    return 0;
+  }
+
+  const mesh::Mesh2D delta(33, 16);
+  const auto njobs = static_cast<std::int32_t>(args.integer("jobs"));
+  std::printf("== A6: %d-job consortium day on the %s ==\n", njobs,
+              delta.describe().c_str());
+
+  Table t({"policy", "seed", "makespan (h)", "utilization", "mean wait (min)",
+           "p-max wait (min)", "backfilled", "mean frag"});
+  for (const auto policy :
+       {SchedulePolicy::FCFS, SchedulePolicy::EasyBackfill}) {
+    for (const std::int64_t seed : args.int_list("seeds")) {
+      BatchSimulator sim(delta, policy);
+      for (auto& j : consortium_workload(njobs, delta.node_count(),
+                                         static_cast<std::uint64_t>(seed)))
+        sim.submit(std::move(j));
+      const BatchResult r = sim.run();
+      t.add_row({policy_name(policy), Table::integer(seed),
+                 Table::num(r.makespan.as_sec() / 3600.0, 2),
+                 Table::num(r.utilization * 100.0, 1) + "%",
+                 Table::num(r.wait_minutes.mean(), 1),
+                 Table::num(r.wait_minutes.max(), 1),
+                 Table::integer(r.backfilled),
+                 Table::num(r.frag_samples.mean(), 3)});
+    }
+  }
+  std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());
+  std::printf("expected: EASY backfill cuts mean queue wait sharply at "
+              "equal-or-better utilization — the operational argument "
+              "that made backfill universal on space-shared machines\n");
+  return 0;
+}

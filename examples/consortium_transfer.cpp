@@ -1,0 +1,65 @@
+// Consortium scenario: a researcher's day on the 1992 network.
+//
+// A Purdue aerodynamicist runs a CAS job on the Delta at Caltech, then
+// pulls the 40 MB flow-field result home over NSFnet, while a JPL
+// collaborator grabs the same file over the CASA HIPPI/SONET testbed.
+// The example shows why the paper's network figure is drawn the way it
+// is: in 1992, where you sat on the hierarchy determined whether remote
+// supercomputing was interactive or an overnight batch affair.
+//
+//   $ ./consortium_transfer [megabytes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/units.hpp"
+#include "wan/consortium.hpp"
+
+using namespace hpccsim;
+
+namespace {
+
+void report(const wan::Wan& net, const char* who, wan::SiteId from,
+            wan::SiteId to, Bytes bytes) {
+  const auto r = net.transfer(from, to, bytes);
+  if (!r) {
+    std::printf("%-28s unreachable!\n", who);
+    return;
+  }
+  std::string route;
+  for (std::size_t i = 0; i < r->path.size(); ++i) {
+    if (i) route += " -> ";
+    route += net.site_name(r->path[i]);
+  }
+  std::printf("%-28s %10s  (bottleneck %-11s via %s)\n", who,
+              r->duration.str().c_str(), format_rate(r->bottleneck).c_str(),
+              route.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Bytes mb = argc > 1 ? static_cast<Bytes>(std::atoll(argv[1])) : 40;
+  const Bytes bytes = mb * 1000 * 1000;
+
+  const wan::Wan net = wan::consortium_network();
+  const wan::SiteId delta = net.site_by_name("Caltech-Delta");
+
+  std::printf("pulling a %llu MB result file off the Touchstone Delta:\n\n",
+              static_cast<unsigned long long>(mb));
+  report(net, "JPL (CASA HIPPI/SONET)", delta, net.site_by_name("JPL"), bytes);
+  report(net, "Los Alamos (CASA)", delta, net.site_by_name("Los-Alamos"),
+         bytes);
+  report(net, "NASA Ames (T1)", delta, net.site_by_name("NASA-Ames"), bytes);
+  report(net, "CRPC / Rice (T1 via T3)", delta, net.site_by_name("CRPC-Rice"),
+         bytes);
+  report(net, "Purdue (regional T1)", delta, net.site_by_name("Purdue"),
+         bytes);
+  report(net, "Delaware (56 kbps tail)", delta, net.site_by_name("Delaware"),
+         bytes);
+
+  std::printf("\nsteering data (4 kB status packet) round-trip flavour:\n\n");
+  report(net, "JPL", delta, net.site_by_name("JPL"), 4096);
+  report(net, "Purdue", delta, net.site_by_name("Purdue"), 4096);
+  report(net, "Delaware", delta, net.site_by_name("Delaware"), 4096);
+  return 0;
+}

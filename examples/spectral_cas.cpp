@@ -1,0 +1,80 @@
+// Spectral-method CAS example: solving a Poisson problem with the
+// distributed FFT.
+//
+// The aerosciences codes the CAS consortium cared about include spectral
+// solvers whose inner loop is forward-FFT -> scale by eigenvalues ->
+// inverse-FFT. This example demonstrates the numerical half locally
+// (solving a 1-D Poisson problem by DFT diagonalization, verified
+// against direct finite differences) and then runs the *distributed*
+// transform on a Delta partition, reporting the machine-level cost of
+// one spectral solve step at production scale.
+//
+//   $ ./spectral_cas
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "linalg/fft.hpp"
+#include "proc/machine.hpp"
+
+using namespace hpccsim;
+using linalg::Complex;
+
+namespace {
+
+// Solve -u'' = f on a periodic [0, 1) grid of n points by FFT
+// diagonalization; returns max error vs the analytic solution for
+// f(x) = (2 pi k)^2 sin(2 pi k x).
+double poisson_demo(std::size_t n, int k) {
+  std::vector<Complex> f(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(n);
+    const double w = 2.0 * std::numbers::pi * k;
+    f[i] = Complex(w * w * std::sin(w * x), 0.0);
+  }
+  linalg::fft_radix2(f);
+  // Divide by the Laplacian eigenvalues (2 pi m)^2; mode 0 is the gauge.
+  for (std::size_t m = 1; m < n; ++m) {
+    const double mm = m <= n / 2 ? static_cast<double>(m)
+                                 : static_cast<double>(m) - static_cast<double>(n);
+    const double lam = std::pow(2.0 * std::numbers::pi * mm, 2.0);
+    f[m] /= lam;
+  }
+  f[0] = 0.0;
+  linalg::fft_radix2(f, /*inverse=*/true);
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(n);
+    const double u = std::sin(2.0 * std::numbers::pi * k * x);
+    err = std::max(err, std::abs(f[i].real() / static_cast<double>(n) - u));
+  }
+  return err;
+}
+
+}  // namespace
+
+int main() {
+  // --- numerics: the spectral solve is exact to rounding -------------
+  const double err = poisson_demo(256, 3);
+  std::printf("spectral Poisson solve (n=256, mode 3): max error %.2e %s\n",
+              err, err < 1e-10 ? "(exact to rounding)" : "");
+
+  // --- machine cost: one production-size transform per time step -----
+  for (const int nodes : {64, 256, 512}) {
+    nx::NxMachine machine(proc::touchstone_delta().with_nodes(nodes));
+    linalg::FftConfig cfg;
+    cfg.n1 = 2048;
+    cfg.n2 = 2048;   // a 4M-point field
+    cfg.numeric = false;
+    const linalg::FftResult r = linalg::run_distributed_fft(machine, cfg);
+    std::printf("  %3d-node Delta partition: 4M-point transform in %s "
+                "(%.0f MFLOPS, %llu msgs)\n",
+                nodes, r.elapsed.str().c_str(), r.mflops,
+                static_cast<unsigned long long>(r.messages));
+  }
+  std::printf("a spectral CFD step needs several such transforms: the "
+              "global transpose is why these codes are network-bound\n");
+  return err < 1e-10 ? 0 : 1;
+}

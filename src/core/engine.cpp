@@ -1,0 +1,131 @@
+#include "core/engine.hpp"
+
+#include <sstream>
+
+namespace hpccsim::sim {
+
+void Trigger::fire() {
+  if (fired_) return;
+  fired_ = true;
+  // Release through the event queue (at the current instant) rather than
+  // resuming inline: keeps the execution stack flat and the event order
+  // a single deterministic stream.
+  for (auto h : waiters_) engine_->schedule(engine_->now(), h);
+  waiters_.clear();
+}
+
+Engine::~Engine() {
+  // Drop pending events first (they reference coroutine frames), then
+  // destroy root frames. Child Task frames are owned by their parents'
+  // stack frames inside the root coroutine, so destroying the root frame
+  // unwinds the whole tree.
+  while (!queue_.empty()) queue_.pop();
+  for (auto& r : roots_) {
+    if (r->frame) r->frame.destroy();
+  }
+}
+
+void Engine::schedule(Time when, std::coroutine_handle<> h) {
+  HPCCSIM_EXPECTS(when >= now_);
+  HPCCSIM_EXPECTS(h != nullptr);
+  queue_.push(Event{when, next_seq_++, h, {}});
+}
+
+void Engine::schedule_call(Time when, std::function<void()> fn) {
+  HPCCSIM_EXPECTS(when >= now_);
+  HPCCSIM_EXPECTS(fn != nullptr);
+  queue_.push(Event{when, next_seq_++, {}, std::move(fn)});
+}
+
+void Engine::RootCoro::promise_type::unhandled_exception() {
+  root->error = std::current_exception();
+}
+
+Engine::RootCoro Engine::run_root(Root* root, Task<void> task) {
+  co_await std::move(task);
+  // Completion bookkeeping happens here, inside the coroutine, so that it
+  // also runs when the body exits via exception (see unhandled_exception:
+  // the error is recorded, then final_suspend still marks us finished via
+  // the dispatch path below — so record it in both paths).
+  root->finished = true;
+  root->done.fire();
+}
+
+ProcessId Engine::spawn(Task<void> task, std::string name) {
+  HPCCSIM_EXPECTS(task.valid());
+  auto root = std::make_unique<Root>(*this, std::move(name));
+  RootCoro coro = run_root(root.get(), std::move(task));
+  coro.handle.promise().root = root.get();
+  root->frame = coro.handle;
+  schedule(now_, coro.handle);
+  roots_.push_back(std::move(root));
+  return ProcessId{static_cast<std::uint32_t>(roots_.size() - 1)};
+}
+
+bool Engine::finished(ProcessId pid) const {
+  return roots_.at(pid.index)->finished;
+}
+
+std::size_t Engine::live_process_count() const {
+  std::size_t n = 0;
+  for (const auto& r : roots_)
+    if (!r->finished && !r->error) ++n;
+  return n;
+}
+
+void Engine::dispatch(Event& ev) {
+  now_ = ev.when;
+  ++events_processed_;
+  if (ev.handle) {
+    ev.handle.resume();
+  } else {
+    ev.fn();
+  }
+}
+
+void Engine::check_errors() {
+  for (const auto& r : roots_) {
+    if (r->error) {
+      auto err = r->error;
+      r->error = nullptr;  // report once
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+std::uint64_t Engine::run() {
+  const std::uint64_t start = events_processed_;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+    check_errors();
+    if (max_events_ && events_processed_ - start >= max_events_)
+      throw std::runtime_error("engine exceeded max_events limit");
+  }
+  if (live_process_count() > 0) {
+    std::ostringstream os;
+    os << "deadlock: event queue empty but " << live_process_count()
+       << " process(es) still blocked:";
+    for (const auto& r : roots_)
+      if (!r->finished) os << ' ' << r->name;
+    throw DeadlockError(os.str());
+  }
+  return events_processed_ - start;
+}
+
+std::uint64_t Engine::run_until(Time stop) {
+  const std::uint64_t start = events_processed_;
+  while (!queue_.empty() && queue_.top().when <= stop) {
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+    check_errors();
+    if (max_events_ && events_processed_ - start >= max_events_)
+      throw std::runtime_error("engine exceeded max_events limit");
+  }
+  now_ = std::max(now_, stop);
+  return events_processed_ - start;
+}
+
+}  // namespace hpccsim::sim

@@ -1,0 +1,178 @@
+// The discrete-event simulation engine.
+//
+// Single-threaded and deterministic: events are ordered by (time, sequence
+// number), so two runs with the same seed produce identical traces. All
+// concurrency in the simulated machine is expressed as coroutine processes
+// (Task<void>) that suspend on awaitables (delay, Trigger, Channel) and
+// are resumed by the engine.
+//
+// The host machine has one core; determinism plus coroutines gives us
+// hundreds of virtual processors with zero data races by construction.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "core/task.hpp"
+#include "core/time.hpp"
+#include "util/assert.hpp"
+
+namespace hpccsim::sim {
+
+class Engine;
+
+/// One-shot latch: processes await it; fire() releases all current and
+/// future waiters. Used for process-join and phase barriers.
+class Trigger {
+ public:
+  explicit Trigger(Engine& engine) : engine_(&engine) {}
+
+  // Waiter handles are raw coroutine handles owned by their processes;
+  // Trigger must not outlive the engine that owns those processes.
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  void fire();
+  bool fired() const { return fired_; }
+
+  auto wait() {
+    struct Awaiter {
+      Trigger* t;
+      bool await_ready() const noexcept { return t->fired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        t->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* engine_;
+  std::vector<std::coroutine_handle<>> waiters_;
+  bool fired_ = false;
+};
+
+/// Identifies a spawned root process within its Engine.
+struct ProcessId {
+  std::uint32_t index = 0;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedule a coroutine resume at an absolute time (>= now).
+  void schedule(Time when, std::coroutine_handle<> h);
+  /// Schedule an arbitrary callback (used by the flit-level network).
+  void schedule_call(Time when, std::function<void()> fn);
+
+  /// Start a root process; it first runs when the engine reaches now().
+  ProcessId spawn(Task<void> task, std::string name = "proc");
+
+  /// True once the given root process has returned.
+  bool finished(ProcessId pid) const;
+  /// Awaitable that completes when the root process returns.
+  auto join(ProcessId pid) { return roots_.at(pid.index)->done.wait(); }
+
+  /// Run until no events remain. Throws the first process exception, or
+  /// DeadlockError if processes remain blocked with an empty queue.
+  /// Returns the number of events processed.
+  std::uint64_t run();
+
+  /// Run until simulated time reaches `stop` (events at exactly `stop`
+  /// are processed). Does not consider blocked processes an error.
+  std::uint64_t run_until(Time stop);
+
+  /// Awaitable: suspend the current process for `dt` of simulated time.
+  auto delay(Time dt) {
+    struct Awaiter {
+      Engine* e;
+      Time dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        e->schedule(e->now_ + dt, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, dt};
+  }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t live_process_count() const;
+
+  /// Safety valve against runaway simulations (0 = unlimited).
+  void set_max_events(std::uint64_t n) { max_events_ = n; }
+
+ private:
+  friend class Trigger;
+
+  struct Root;
+  // Fire-and-forget wrapper coroutine that drives a root Task and records
+  // completion / errors in its Root record.
+  struct RootCoro {
+    struct promise_type {
+      RootCoro get_return_object() {
+        return RootCoro{
+            std::coroutine_handle<promise_type>::from_promise(*this)};
+      }
+      std::suspend_always initial_suspend() noexcept { return {}; }
+      std::suspend_always final_suspend() noexcept { return {}; }
+      void return_void() {}
+      void unhandled_exception();
+      Root* root = nullptr;
+    };
+    std::coroutine_handle<promise_type> handle;
+  };
+
+  struct Root {
+    std::string name;
+    Trigger done;
+    bool finished = false;
+    std::exception_ptr error;
+    std::coroutine_handle<RootCoro::promise_type> frame;
+    explicit Root(Engine& e, std::string n) : name(std::move(n)), done(e) {}
+  };
+
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;        // exactly one of handle/fn is set
+    std::function<void()> fn;
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  static RootCoro run_root(Root* root, Task<void> task);
+  void dispatch(Event& ev);
+  void check_errors();
+
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t max_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::unique_ptr<Root>> roots_;
+};
+
+/// Thrown when all events drain but some process never finished — i.e. a
+/// recv with no matching send, a barrier someone never reached, etc.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace hpccsim::sim

@@ -1,0 +1,130 @@
+// Coroutine synchronization primitives for simulated processes.
+//
+// These complement Trigger (one-shot latch) and Channel (queue):
+//   - Semaphore: counted resource (e.g. limited DMA engines, bounded
+//     buffers);
+//   - Mutex: exclusive access (a Semaphore of one, with clearer intent);
+//   - WaitGroup: "wait until N registered activities finish" (phase
+//     joins without spawning-order bookkeeping).
+//
+// All are single-threaded under the simulation engine and wake waiters
+// through the event queue in FIFO order, preserving determinism.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+
+#include "core/engine.hpp"
+#include "util/assert.hpp"
+
+namespace hpccsim::sim {
+
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::int64_t initial)
+      : engine_(&engine), count_(initial) {
+    HPCCSIM_EXPECTS(initial >= 0);
+  }
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  /// Awaitable: decrements the count, suspending while it is zero.
+  /// release() consumes a unit on the woken waiter's behalf before
+  /// scheduling it, so later fast-path acquires cannot steal it.
+  auto acquire() {
+    struct Awaiter {
+      Semaphore* s;
+      bool await_ready() {
+        if (s->count_ > 0) {
+          --s->count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        s->waiters_.push_back(h);
+      }
+      void await_resume() {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Increments the count; wakes the longest waiter if any.
+  void release() {
+    ++count_;
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      // The woken waiter consumes the unit on resume.
+      --count_;
+      engine_->schedule(engine_->now(), h);
+    }
+  }
+
+  std::int64_t available() const { return count_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Engine* engine_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Exclusive lock. Usage:
+///   co_await mutex.lock();
+///   ... critical section (may suspend) ...
+///   mutex.unlock();
+class Mutex {
+ public:
+  explicit Mutex(Engine& engine) : sem_(engine, 1) {}
+  auto lock() { return sem_.acquire(); }
+  void unlock() {
+    HPCCSIM_EXPECTS(sem_.available() == 0);
+    sem_.release();
+  }
+  bool locked() const { return sem_.available() == 0; }
+
+ private:
+  Semaphore sem_;
+};
+
+/// Join point for a dynamic set of activities.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Engine& engine) : done_(engine) {}
+
+  /// Register n more activities (before or while they run).
+  void add(std::int64_t n = 1) {
+    HPCCSIM_EXPECTS(!completed_);
+    HPCCSIM_EXPECTS(n >= 0);
+    pending_ += n;
+  }
+
+  /// Mark one activity finished; the last one releases the waiters.
+  void done() {
+    HPCCSIM_EXPECTS(pending_ > 0);
+    if (--pending_ == 0) {
+      completed_ = true;
+      done_.fire();
+    }
+  }
+
+  /// Awaitable: resumes when the count reaches zero. If nothing was
+  /// ever added, completes immediately.
+  auto wait() {
+    if (pending_ == 0 && !completed_) {
+      completed_ = true;
+      done_.fire();
+    }
+    return done_.wait();
+  }
+
+  std::int64_t pending() const { return pending_; }
+
+ private:
+  Trigger done_;
+  std::int64_t pending_ = 0;
+  bool completed_ = false;
+};
+
+}  // namespace hpccsim::sim

@@ -1,0 +1,24 @@
+#include "core/time.hpp"
+
+#include <cstdio>
+
+namespace hpccsim::sim {
+
+std::string Time::str() const {
+  char buf[64];
+  const double p = static_cast<double>(ps_);
+  if (ps_ >= 1'000'000'000'000ULL)
+    std::snprintf(buf, sizeof buf, "%.4g s", p / 1e12);
+  else if (ps_ >= 1'000'000'000ULL)
+    std::snprintf(buf, sizeof buf, "%.4g ms", p / 1e9);
+  else if (ps_ >= 1'000'000ULL)
+    std::snprintf(buf, sizeof buf, "%.4g us", p / 1e6);
+  else if (ps_ >= 1'000ULL)
+    std::snprintf(buf, sizeof buf, "%.4g ns", p / 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%llu ps",
+                  static_cast<unsigned long long>(ps_));
+  return buf;
+}
+
+}  // namespace hpccsim::sim

@@ -1,0 +1,213 @@
+#include "hpcc/program.hpp"
+
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace hpccsim::hpcc {
+
+const char* agency_name(Agency a) {
+  switch (a) {
+    case Agency::DARPA: return "DARPA";
+    case Agency::NSF: return "NSF";
+    case Agency::DOE: return "DOE";
+    case Agency::NASA: return "NASA";
+    case Agency::NIH: return "NIH";
+    case Agency::NOAA: return "NOAA";
+    case Agency::EPA: return "EPA";
+    case Agency::NIST: return "NIST";
+  }
+  return "?";
+}
+
+const char* agency_display_name(Agency a) {
+  switch (a) {
+    case Agency::NIH: return "HHS/NIH";
+    case Agency::NOAA: return "DOC/NOAA";
+    case Agency::NIST: return "DOC/NIST";
+    default: return agency_name(a);
+  }
+}
+
+const char* component_name(Component c) {
+  switch (c) {
+    case Component::HPCS: return "HPCS";
+    case Component::ASTA: return "ASTA";
+    case Component::NREN: return "NREN";
+    case Component::BRHR: return "BRHR";
+  }
+  return "?";
+}
+
+const char* component_full_name(Component c) {
+  switch (c) {
+    case Component::HPCS: return "High Performance Computing Systems";
+    case Component::ASTA: return "Advanced Software Technology and Algorithms";
+    case Component::NREN: return "National Research and Education Network";
+    case Component::BRHR: return "Basic Research and Human Resources";
+  }
+  return "?";
+}
+
+const std::vector<AgencyBudget>& funding_fy92_93() {
+  // Verbatim from the paper's "FEDERAL HPCC PROGRAM FUNDING FY 92-93"
+  // table (dollars in millions).
+  static const std::vector<AgencyBudget> kBudget = {
+      {Agency::DARPA, 232.2, 275.0}, {Agency::NSF, 200.9, 261.9},
+      {Agency::DOE, 92.3, 109.1},    {Agency::NASA, 71.2, 89.1},
+      {Agency::NIH, 41.3, 44.9},     {Agency::NOAA, 9.8, 10.8},
+      {Agency::EPA, 5.0, 8.0},       {Agency::NIST, 2.1, 4.1},
+  };
+  return kBudget;
+}
+
+double total_fy1992() {
+  const auto& b = funding_fy92_93();
+  return std::accumulate(b.begin(), b.end(), 0.0,
+                         [](double s, const AgencyBudget& a) {
+                           return s + a.fy1992_musd;
+                         });
+}
+
+double total_fy1993() {
+  const auto& b = funding_fy92_93();
+  return std::accumulate(b.begin(), b.end(), 0.0,
+                         [](double s, const AgencyBudget& a) {
+                           return s + a.fy1993_musd;
+                         });
+}
+
+double growth(const AgencyBudget& b) {
+  HPCCSIM_EXPECTS(b.fy1992_musd > 0);
+  return b.fy1993_musd / b.fy1992_musd - 1.0;
+}
+
+Table funding_table() {
+  Table t({"AGENCY", "FY 1992 ($M)", "FY 1993 ($M)", "growth", "FY93 share"});
+  const double total93 = total_fy1993();
+  for (const auto& b : funding_fy92_93()) {
+    t.add_row({agency_display_name(b.agency), Table::num(b.fy1992_musd, 1),
+               Table::num(b.fy1993_musd, 1), Table::percent(growth(b), 1),
+               Table::num(b.fy1993_musd / total93 * 100.0, 1) + "%"});
+  }
+  t.add_row({"Total", Table::num(total_fy1992(), 1),
+             Table::num(total_fy1993(), 1),
+             Table::percent(total_fy1993() / total_fy1992() - 1.0, 1),
+             "100.0%"});
+  return t;
+}
+
+const std::vector<ComponentShare>& component_shares_fy92() {
+  // The paper shows the HPCS/ASTA/NREN/BRHR pie without numbers; these
+  // shares follow the FY92 federal blue-book proportions.
+  static const std::vector<ComponentShare> kShares = {
+      {Component::HPCS, 0.35},
+      {Component::ASTA, 0.41},
+      {Component::NREN, 0.14},
+      {Component::BRHR, 0.10},
+  };
+  return kShares;
+}
+
+Table component_table() {
+  Table t({"component", "full name", "FY92 ($M)", "share"});
+  const double total = total_fy1992();
+  for (const auto& s : component_shares_fy92()) {
+    t.add_row({component_name(s.component), component_full_name(s.component),
+               Table::num(total * s.share, 1),
+               Table::num(s.share * 100.0, 0) + "%"});
+  }
+  return t;
+}
+
+bool participates(Agency a, Component c) {
+  // From the "Federal HPCC Program Responsibilities" chart: every agency
+  // funds ASTA-style computational research; the systems, network, and
+  // human-resources components have the listed subsets.
+  switch (c) {
+    case Component::HPCS:
+      return a == Agency::DARPA || a == Agency::DOE || a == Agency::NASA ||
+             a == Agency::NSF || a == Agency::NIST;
+    case Component::ASTA:
+      return true;
+    case Component::NREN:
+      return a == Agency::DARPA || a == Agency::NSF || a == Agency::DOE ||
+             a == Agency::NASA || a == Agency::NIH || a == Agency::NOAA ||
+             a == Agency::EPA;
+    case Component::BRHR:
+      return a == Agency::DARPA || a == Agency::NSF || a == Agency::DOE ||
+             a == Agency::NASA || a == Agency::NIH;
+  }
+  return false;
+}
+
+std::vector<BudgetCell> budget_matrix_fy92() {
+  std::vector<BudgetCell> cells;
+  for (const auto& b : funding_fy92_93()) {
+    // Weights: the program-level component shares, restricted to the
+    // components this agency participates in, renormalized.
+    double denom = 0.0;
+    for (const auto& s : component_shares_fy92())
+      if (participates(b.agency, s.component)) denom += s.share;
+    HPCCSIM_ASSERT(denom > 0.0);
+    for (const auto& s : component_shares_fy92()) {
+      if (!participates(b.agency, s.component)) continue;
+      cells.push_back(BudgetCell{b.agency, s.component,
+                                 b.fy1992_musd * s.share / denom});
+    }
+  }
+  return cells;
+}
+
+double component_total_fy92(Component c) {
+  double total = 0.0;
+  for (const auto& cell : budget_matrix_fy92())
+    if (cell.component == c) total += cell.musd;
+  return total;
+}
+
+Table budget_matrix_table() {
+  std::vector<std::string> header{"AGENCY ($M, FY92 est.)"};
+  for (Component c : kAllComponents) header.emplace_back(component_name(c));
+  header.emplace_back("total");
+  Table t(std::move(header));
+  const auto cells = budget_matrix_fy92();
+  for (Agency a : kAllAgencies) {
+    std::vector<std::string> row{agency_display_name(a)};
+    double total = 0.0;
+    for (Component c : kAllComponents) {
+      double v = 0.0;
+      for (const auto& cell : cells)
+        if (cell.agency == a && cell.component == c) v = cell.musd;
+      row.push_back(v == 0.0 ? "-" : Table::num(v, 1));
+      total += v;
+    }
+    row.push_back(Table::num(total, 1));
+    t.add_row(std::move(row));
+  }
+  std::vector<std::string> totals{"Total"};
+  double grand = 0.0;
+  for (Component c : kAllComponents) {
+    const double v = component_total_fy92(c);
+    totals.push_back(Table::num(v, 1));
+    grand += v;
+  }
+  totals.push_back(Table::num(grand, 1));
+  t.add_row(std::move(totals));
+  return t;
+}
+
+Table responsibilities_table() {
+  std::vector<std::string> header{"AGENCY"};
+  for (Component c : kAllComponents) header.emplace_back(component_name(c));
+  Table t(std::move(header));
+  for (Agency a : kAllAgencies) {
+    std::vector<std::string> row{agency_display_name(a)};
+    for (Component c : kAllComponents)
+      row.emplace_back(participates(a, c) ? "x" : "");
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+}  // namespace hpccsim::hpcc

@@ -1,0 +1,103 @@
+// The Federal HPCC Program model: agencies, program components, and the
+// FY 1992-93 budget the paper tabulates ("FEDERAL HPCC PROGRAM FUNDING
+// FY 92-93, Dollars in millions").
+//
+// This module regenerates the paper's only quantitative table (T1) from
+// structured data, plus the derived views a program office would want:
+// growth, agency share, and the four-component split (HPCS / ASTA /
+// NREN / BRHR).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace hpccsim::hpcc {
+
+/// The eight funded agencies, in the paper's (descending FY92) order.
+enum class Agency {
+  DARPA,
+  NSF,
+  DOE,
+  NASA,
+  NIH,    ///< HHS/NIH
+  NOAA,   ///< DOC/NOAA
+  EPA,
+  NIST,   ///< DOC/NIST
+};
+
+inline constexpr std::array<Agency, 8> kAllAgencies = {
+    Agency::DARPA, Agency::NSF, Agency::DOE,  Agency::NASA,
+    Agency::NIH,   Agency::NOAA, Agency::EPA, Agency::NIST};
+
+const char* agency_name(Agency a);
+const char* agency_display_name(Agency a);  ///< as printed in the paper
+
+/// The four program components of the Federal HPCC Program.
+enum class Component {
+  HPCS,  ///< High Performance Computing Systems
+  ASTA,  ///< Advanced Software Technology and Algorithms
+  NREN,  ///< National Research and Education Network
+  BRHR,  ///< Basic Research and Human Resources
+};
+
+inline constexpr std::array<Component, 4> kAllComponents = {
+    Component::HPCS, Component::ASTA, Component::NREN, Component::BRHR};
+
+const char* component_name(Component c);
+const char* component_full_name(Component c);
+
+struct AgencyBudget {
+  Agency agency;
+  double fy1992_musd;  ///< millions of dollars
+  double fy1993_musd;
+};
+
+/// The exact figures from the paper's funding table.
+const std::vector<AgencyBudget>& funding_fy92_93();
+
+/// Paper totals: FY92 $654.8M, FY93 $802.9M.
+double total_fy1992();
+double total_fy1993();
+
+/// Year-over-year growth fraction for one agency (e.g. +0.184 for DARPA).
+double growth(const AgencyBudget& b);
+
+/// Reconstruct the paper's table, with derived growth and share columns.
+Table funding_table();
+
+/// Component split: the paper draws HPCS/ASTA/NREN/BRHR as a pie without
+/// numbers; the published FY92 blue-book split is used here (documented
+/// substitution — see DESIGN.md).
+struct ComponentShare {
+  Component component;
+  double share;  ///< fraction of the program total
+};
+const std::vector<ComponentShare>& component_shares_fy92();
+Table component_table();
+
+/// Responsibilities matrix (agency x component participation) from the
+/// paper's "Federal HPCC Program Responsibilities" chart.
+bool participates(Agency a, Component c);
+Table responsibilities_table();
+
+/// Estimated agency x component budget matrix for a fiscal year:
+/// each agency's budget spread over the components it participates in,
+/// proportionally to the program-level component shares. A documented
+/// reconstruction (the paper gives totals and the participation chart,
+/// not the cross product); rows sum to the agency budgets and the grand
+/// total matches the program total exactly.
+struct BudgetCell {
+  Agency agency;
+  Component component;
+  double musd;
+};
+std::vector<BudgetCell> budget_matrix_fy92();
+Table budget_matrix_table();
+
+/// Sum of a component's column in the matrix.
+double component_total_fy92(Component c);
+
+}  // namespace hpccsim::hpcc

@@ -1,0 +1,92 @@
+#include "io/cfs.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hpccsim::io {
+
+Cfs::Cfs(nx::NxMachine& machine, CfsConfig config)
+    : machine_(&machine), cfg_(std::move(config)) {
+  if (cfg_.io_nodes.empty()) {
+    // Default: the east edge column of the mesh hosts the disks.
+    const auto& mc = machine.config();
+    for (std::int32_t y = 0; y < mc.mesh_height; ++y)
+      cfg_.io_nodes.push_back(y * mc.mesh_width + (mc.mesh_width - 1));
+  }
+  for (const int r : cfg_.io_nodes)
+    HPCCSIM_EXPECTS(r >= 0 && r < machine.nodes());
+  HPCCSIM_EXPECTS(cfg_.stripe > 0);
+  HPCCSIM_EXPECTS(cfg_.disk_bw.bytes_per_sec() > 0);
+  disk_free_.assign(cfg_.io_nodes.size(), sim::Time::zero());
+}
+
+sim::Task<> Cfs::transfer_op(nx::NxContext& ctx, std::int64_t offset,
+                             Bytes bytes, bool is_write) {
+  HPCCSIM_EXPECTS(offset >= 0);
+  HPCCSIM_EXPECTS(bytes > 0);
+  auto& eng = machine_->engine();
+  auto& net = machine_->network();
+  const auto ndisks = static_cast<std::int64_t>(cfg_.io_nodes.size());
+  const auto stripe = static_cast<std::int64_t>(cfg_.stripe);
+
+  sim::Time issue = eng.now();
+  sim::Time last_done = eng.now();
+  std::int64_t pos = offset;
+  std::int64_t remaining = static_cast<std::int64_t>(bytes);
+  constexpr Bytes kRequestBytes = 64;  // control message size
+
+  while (remaining > 0) {
+    // The chunk ends at the next stripe boundary.
+    const std::int64_t in_stripe = pos % stripe;
+    const std::int64_t chunk =
+        std::min<std::int64_t>(stripe - in_stripe, remaining);
+    const auto disk =
+        static_cast<std::size_t>((pos / stripe) % ndisks);
+    const int io_rank = cfg_.io_nodes[disk];
+
+    // Client issues requests back to back (software-serialized).
+    issue += cfg_.request_overhead;
+
+    // Outbound: data (write) or request (read) rides the real mesh.
+    const Bytes out_bytes =
+        is_write ? static_cast<Bytes>(chunk) : kRequestBytes;
+    const sim::Time at_io =
+        net.transfer(ctx.rank(), io_rank, out_bytes, issue);
+
+    // Disk service, in arrival order per disk.
+    const sim::Time start = std::max(at_io, disk_free_[disk]);
+    const sim::Time done =
+        start + cfg_.seek +
+        sim::Time::sec(static_cast<double>(chunk) /
+                       cfg_.disk_bw.bytes_per_sec());
+    disk_free_[disk] = done;
+    stats_.disk_busy += done - start;
+
+    // Return hop: ack (write) or the data itself (read).
+    const Bytes back_bytes =
+        is_write ? kRequestBytes : static_cast<Bytes>(chunk);
+    const sim::Time back = net.transfer(io_rank, ctx.rank(), back_bytes, done);
+    last_done = std::max(last_done, back);
+
+    ++stats_.chunks;
+    if (is_write) stats_.bytes_written += static_cast<Bytes>(chunk);
+    else stats_.bytes_read += static_cast<Bytes>(chunk);
+    pos += chunk;
+    remaining -= chunk;
+  }
+
+  // The client blocks until the last chunk is acknowledged.
+  HPCCSIM_ASSERT(last_done >= eng.now());
+  co_await eng.delay(last_done - eng.now());
+}
+
+sim::Task<> Cfs::write(nx::NxContext& ctx, std::int64_t offset, Bytes bytes) {
+  co_await transfer_op(ctx, offset, bytes, /*is_write=*/true);
+}
+
+sim::Task<> Cfs::read(nx::NxContext& ctx, std::int64_t offset, Bytes bytes) {
+  co_await transfer_op(ctx, offset, bytes, /*is_write=*/false);
+}
+
+}  // namespace hpccsim::io

@@ -1,0 +1,83 @@
+// CFS: a Concurrent File System model for the simulated Delta.
+//
+// The real Delta carried I/O nodes (beyond the 528 numeric nodes) each
+// with a SCSI disk, running Intel's Concurrent File System: files were
+// striped round-robin across the I/O nodes so compute nodes could read
+// and write in parallel. Checkpointing the LINPACK matrix — 5 GB at a
+// few MB/s of aggregate disk bandwidth — was a famous pain of the era;
+// this module makes that measurable.
+//
+// Model: a set of designated I/O nodes (by default the mesh's east edge
+// column), each with one disk (seek time + streaming bandwidth, served
+// in arrival order). A client write splits into stripe-sized chunks;
+// chunk k of a file region goes to disk (first_stripe + k) mod N. Each
+// chunk pays: client request overhead (serialized at the client), mesh
+// transfer to the I/O node (through the machine's network model, so I/O
+// traffic contends with application traffic), disk service (serialized
+// per disk), and an acknowledgement hop back. The operation completes
+// when the last ack lands.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/task.hpp"
+#include "core/time.hpp"
+#include "nx/machine_runtime.hpp"
+#include "util/units.hpp"
+
+namespace hpccsim::io {
+
+struct CfsConfig {
+  /// Ranks that host a disk. Empty = the mesh's east edge column.
+  std::vector<int> io_nodes;
+  Bytes stripe = 64 * KiB;
+  /// Per-disk streaming bandwidth (era SCSI: ~1.5 MB/s sustained).
+  BytesPerSecond disk_bw = mb_per_s(1.5);
+  /// Average positioning time charged per chunk.
+  sim::Time seek = sim::Time::ms(16);
+  /// Client-side software cost to issue one chunk request.
+  sim::Time request_overhead = sim::Time::us(50);
+};
+
+struct CfsStats {
+  Bytes bytes_written = 0;
+  Bytes bytes_read = 0;
+  std::uint64_t chunks = 0;
+  /// Summed disk busy time (for utilization = busy / (disks * elapsed)).
+  sim::Time disk_busy;
+};
+
+class Cfs {
+ public:
+  Cfs(nx::NxMachine& machine, CfsConfig config = {});
+
+  /// Write `bytes` at `offset` from the calling node; completes when
+  /// every chunk is on disk and acknowledged.
+  sim::Task<> write(nx::NxContext& ctx, std::int64_t offset, Bytes bytes);
+
+  /// Read `bytes` at `offset` into the calling node.
+  sim::Task<> read(nx::NxContext& ctx, std::int64_t offset, Bytes bytes);
+
+  std::int32_t disk_count() const {
+    return static_cast<std::int32_t>(cfg_.io_nodes.size());
+  }
+  const CfsConfig& config() const { return cfg_; }
+  const CfsStats& stats() const { return stats_; }
+
+  /// Aggregate streaming bandwidth of all disks (upper bound).
+  BytesPerSecond aggregate_disk_bw() const {
+    return BytesPerSecond{cfg_.disk_bw.bytes_per_sec() * disk_count()};
+  }
+
+ private:
+  sim::Task<> transfer_op(nx::NxContext& ctx, std::int64_t offset,
+                          Bytes bytes, bool is_write);
+
+  nx::NxMachine* machine_;
+  CfsConfig cfg_;
+  std::vector<sim::Time> disk_free_;  // per-disk service horizon
+  CfsStats stats_;
+};
+
+}  // namespace hpccsim::io

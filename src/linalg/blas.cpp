@@ -1,0 +1,198 @@
+#include "linalg/blas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpccsim::linalg {
+
+void daxpy(Index n, double alpha, const double* x, double* y) {
+  for (Index i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void dscal(Index n, double alpha, double* x) {
+  for (Index i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double ddot(Index n, const double* x, const double* y) {
+  double s = 0.0;
+  for (Index i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+Index idamax(Index n, const double* x) {
+  if (n <= 0) return -1;
+  Index best = 0;
+  double bv = std::fabs(x[0]);
+  for (Index i = 1; i < n; ++i) {
+    const double v = std::fabs(x[i]);
+    if (v > bv) {
+      bv = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void drowswap(Index cols, double* a, Index lda, Index r1, Index r2) {
+  if (r1 == r2) return;
+  for (Index c = 0; c < cols; ++c)
+    std::swap(a[c * lda + r1], a[c * lda + r2]);
+}
+
+void dgemm_minus(Index m, Index n, Index k, const double* a, Index lda,
+                 const double* b, Index ldb, double* c, Index ldc) {
+  HPCCSIM_EXPECTS(lda >= m && ldb >= k && ldc >= m);
+  // Cache blocking over k and n; the innermost loop is a daxpy down a
+  // column of C (unit stride for column-major).
+  constexpr Index kNB = 64;
+  for (Index j0 = 0; j0 < n; j0 += kNB) {
+    const Index j1 = std::min(j0 + kNB, n);
+    for (Index p0 = 0; p0 < k; p0 += kNB) {
+      const Index p1 = std::min(p0 + kNB, k);
+      for (Index j = j0; j < j1; ++j) {
+        double* cj = c + j * ldc;
+        for (Index p = p0; p < p1; ++p) {
+          const double bpj = b[j * ldb + p];
+          if (bpj == 0.0) continue;
+          const double* ap = a + p * lda;
+          for (Index i = 0; i < m; ++i) cj[i] -= ap[i] * bpj;
+        }
+      }
+    }
+  }
+}
+
+void dtrsm_lower_unit(Index n, Index nrhs, const double* l, Index ldl,
+                      double* b, Index ldb) {
+  HPCCSIM_EXPECTS(ldl >= n && ldb >= n);
+  for (Index j = 0; j < nrhs; ++j) {
+    double* bj = b + j * ldb;
+    for (Index i = 0; i < n; ++i) {
+      const double bi = bj[i];
+      if (bi == 0.0) continue;
+      const double* li = l + i * ldl;  // column i of L
+      for (Index r = i + 1; r < n; ++r) bj[r] -= li[r] * bi;
+    }
+  }
+}
+
+void dtrsm_upper(Index n, Index nrhs, const double* u, Index ldu, double* b,
+                 Index ldb) {
+  HPCCSIM_EXPECTS(ldu >= n && ldb >= n);
+  for (Index j = 0; j < nrhs; ++j) {
+    double* bj = b + j * ldb;
+    for (Index i = n - 1; i >= 0; --i) {
+      const double* ui = u + i * ldu;  // column i of U
+      bj[i] /= ui[i];
+      const double bi = bj[i];
+      if (bi == 0.0) continue;
+      for (Index r = 0; r < i; ++r) bj[r] -= ui[r] * bi;
+    }
+  }
+}
+
+bool dgetf2(Index m, Index n, double* a, Index lda, std::span<Index> piv) {
+  HPCCSIM_EXPECTS(m >= n);
+  HPCCSIM_EXPECTS(static_cast<Index>(piv.size()) >= n);
+  for (Index j = 0; j < n; ++j) {
+    double* colj = a + j * lda;
+    const Index p = j + idamax(m - j, colj + j);
+    piv[static_cast<std::size_t>(j)] = p;
+    if (colj[p] == 0.0) return false;
+    drowswap(n, a, lda, j, p);
+    const double inv = 1.0 / colj[j];
+    dscal(m - j - 1, inv, colj + j + 1);
+    // Rank-1 update of the trailing panel.
+    for (Index c = j + 1; c < n; ++c) {
+      const double ujc = a[c * lda + j];
+      if (ujc == 0.0) continue;
+      daxpy(m - j - 1, -ujc, colj + j + 1, a + c * lda + j + 1);
+    }
+  }
+  return true;
+}
+
+bool dgetrf(Matrix& a, std::span<Index> piv, Index block) {
+  const Index n = a.rows();
+  HPCCSIM_EXPECTS(a.cols() == n);
+  HPCCSIM_EXPECTS(static_cast<Index>(piv.size()) >= n);
+  HPCCSIM_EXPECTS(block >= 1);
+  double* data = a.data().data();
+  const Index lda = n;
+
+  for (Index k = 0; k < n; k += block) {
+    const Index nb = std::min(block, n - k);
+    // Factor the panel A[k:n, k:k+nb].
+    std::vector<Index> ppiv(static_cast<std::size_t>(nb));
+    if (!dgetf2(n - k, nb, data + k * lda + k, lda, ppiv)) return false;
+    // Record pivots in global coordinates and apply the swaps to the
+    // columns outside the panel.
+    for (Index j = 0; j < nb; ++j) {
+      const Index pg = k + ppiv[static_cast<std::size_t>(j)];
+      piv[static_cast<std::size_t>(k + j)] = pg;
+      if (pg != k + j) {
+        drowswap(k, data, lda, k + j, pg);  // columns left of the panel
+        if (k + nb < n)                     // columns right of the panel
+          drowswap(n - k - nb, data + (k + nb) * lda, lda, k + j, pg);
+      }
+    }
+    if (k + nb < n) {
+      // U block: solve L11 * U12 = A12.
+      dtrsm_lower_unit(nb, n - k - nb, data + k * lda + k, lda,
+                       data + (k + nb) * lda + k, lda);
+      // Trailing update: A22 -= L21 * U12.
+      dgemm_minus(n - k - nb, n - k - nb, nb, data + k * lda + k + nb, lda,
+                  data + (k + nb) * lda + k, lda,
+                  data + (k + nb) * lda + k + nb, lda);
+    }
+  }
+  return true;
+}
+
+void dlaswp(std::span<double> b, std::span<const Index> piv) {
+  for (std::size_t j = 0; j < piv.size(); ++j) {
+    const auto p = static_cast<std::size_t>(piv[j]);
+    HPCCSIM_EXPECTS(p < b.size());
+    if (p != j) std::swap(b[j], b[p]);
+  }
+}
+
+std::vector<double> lu_solve(const Matrix& lu, std::span<const Index> piv,
+                             std::vector<double> b) {
+  const Index n = lu.rows();
+  HPCCSIM_EXPECTS(static_cast<Index>(b.size()) == n);
+  dlaswp(b, piv);
+  dtrsm_lower_unit(n, 1, lu.data().data(), n, b.data(), n);
+  dtrsm_upper(n, 1, lu.data().data(), n, b.data(), n);
+  return b;
+}
+
+std::vector<double> solve(Matrix a, std::vector<double> b) {
+  const Index n = a.rows();
+  std::vector<Index> piv(static_cast<std::size_t>(n));
+  if (!dgetrf(a, piv)) throw std::domain_error("solve: singular matrix");
+  return lu_solve(a, piv, std::move(b));
+}
+
+std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
+  HPCCSIM_EXPECTS(static_cast<Index>(x.size()) == a.cols());
+  std::vector<double> y(static_cast<std::size_t>(a.rows()), 0.0);
+  for (Index c = 0; c < a.cols(); ++c)
+    daxpy(a.rows(), x[static_cast<std::size_t>(c)], a.col(c), y.data());
+  return y;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  HPCCSIM_EXPECTS(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (Index j = 0; j < b.cols(); ++j)
+    for (Index p = 0; p < a.cols(); ++p) {
+      const double bpj = b(p, j);
+      if (bpj == 0.0) continue;
+      daxpy(a.rows(), bpj, a.col(p), c.col(j));
+    }
+  return c;
+}
+
+}  // namespace hpccsim::linalg

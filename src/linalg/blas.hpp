@@ -1,0 +1,78 @@
+// Local BLAS / LAPACK-style kernels, written from scratch.
+//
+// These are the node-level kernels the distributed algorithms call. They
+// operate on raw column-major storage with explicit leading dimensions
+// (the BLAS convention) so distributed code can address submatrices of
+// local panels without copies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hpccsim::linalg {
+
+// ------------------------------------------------------------- level 1 --
+
+/// y += alpha * x
+void daxpy(Index n, double alpha, const double* x, double* y);
+
+/// x *= alpha
+void dscal(Index n, double alpha, double* x);
+
+double ddot(Index n, const double* x, const double* y);
+
+/// Index of the element with the largest |value| (first on ties);
+/// n == 0 returns -1.
+Index idamax(Index n, const double* x);
+
+/// Swap two rows of an lda-strided column-major block of `cols` columns.
+void drowswap(Index cols, double* a, Index lda, Index r1, Index r2);
+
+// ------------------------------------------------------------- level 3 --
+
+/// C (m x n) -= A (m x k) * B (k x n); all column-major with leading
+/// dimensions lda/ldb/ldc. Cache-blocked.
+void dgemm_minus(Index m, Index n, Index k, const double* a, Index lda,
+                 const double* b, Index ldb, double* c, Index ldc);
+
+/// B (n x nrhs) := inv(L) * B where L is the unit-lower-triangular
+/// n x n block at `l` (leading dimension ldl). Forward substitution.
+void dtrsm_lower_unit(Index n, Index nrhs, const double* l, Index ldl,
+                      double* b, Index ldb);
+
+/// B (n x nrhs) := inv(U) * B for upper-triangular U (non-unit diagonal).
+void dtrsm_upper(Index n, Index nrhs, const double* u, Index ldu, double* b,
+                 Index ldb);
+
+// --------------------------------------------------------------- getrf --
+
+/// Unblocked LU with partial pivoting of an m x n panel (m >= n), in
+/// place; piv[j] records the row swapped into position j (0-based,
+/// relative to the panel top). Returns false if exactly singular.
+bool dgetf2(Index m, Index n, double* a, Index lda, std::span<Index> piv);
+
+/// Blocked LU with partial pivoting of a full n x n matrix (the
+/// reference factorization the distributed solver is tested against).
+/// piv has n entries. Returns false if singular.
+bool dgetrf(Matrix& a, std::span<Index> piv, Index block = 32);
+
+/// Apply the pivot sequence (as produced by dgetrf) to a right-hand side.
+void dlaswp(std::span<double> b, std::span<const Index> piv);
+
+/// Solve A x = b given the dgetrf factorization in place.
+std::vector<double> lu_solve(const Matrix& lu, std::span<const Index> piv,
+                             std::vector<double> b);
+
+/// Convenience: factor a copy of A and solve. Throws on singular A.
+std::vector<double> solve(Matrix a, std::vector<double> b);
+
+/// y := A x (for residual checks).
+std::vector<double> matvec(const Matrix& a, std::span<const double> x);
+
+/// C := A * B (naive reference for testing dgemm_minus).
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+}  // namespace hpccsim::linalg

@@ -1,0 +1,294 @@
+#include "linalg/cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nx/collectives.hpp"
+#include "proc/kernel_model.hpp"
+
+namespace hpccsim::linalg {
+
+namespace {
+
+using nx::Group;
+using nx::Message;
+using nx::NxContext;
+using nx::Payload;
+using proc::Kernel;
+using sim::Task;
+using sim::Time;
+
+constexpr int kTagHalo = 800;  // +0..3 per direction
+
+struct CgState {
+  CgConfig cfg;
+  std::int32_t iterations = 0;
+  bool converged = false;
+  std::optional<double> residual;
+  Time t_start, t_end;
+};
+
+std::int64_t band_size(std::int64_t n, std::int32_t i, std::int32_t parts) {
+  return n / parts + (i < n % parts ? 1 : 0);
+}
+
+/// Local field with a one-cell halo ring, row-major.
+class Field {
+ public:
+  Field(std::int64_t rows, std::int64_t cols)
+      : rows_(rows), cols_(cols),
+        v_(static_cast<std::size_t>((rows + 2) * (cols + 2)), 0.0) {}
+  double& at(std::int64_t i, std::int64_t j) {  // -1..rows, -1..cols
+    return v_[static_cast<std::size_t>((i + 1) * (cols_ + 2) + j + 1)];
+  }
+  double at(std::int64_t i, std::int64_t j) const {
+    return v_[static_cast<std::size_t>((i + 1) * (cols_ + 2) + j + 1)];
+  }
+
+ private:
+  std::int64_t rows_, cols_;
+  std::vector<double> v_;
+};
+
+Task<> cg_node(NxContext& ctx, CgState& st) {
+  const CgConfig& cfg = st.cfg;
+  const std::int32_t P = cfg.grid.rows, Q = cfg.grid.cols;
+  const int rank = ctx.rank();
+  const std::int32_t pr = cfg.grid.prow_of(rank);
+  const std::int32_t pq = cfg.grid.pcol_of(rank);
+  const std::int64_t rows = band_size(cfg.grid_n, pr, P);
+  const std::int64_t cols = band_size(cfg.grid_n, pq, Q);
+  const std::int64_t cells = rows * cols;
+
+  const int north = pr > 0 ? cfg.grid.rank_of(pr - 1, pq) : -1;
+  const int south = pr < P - 1 ? cfg.grid.rank_of(pr + 1, pq) : -1;
+  const int west = pq > 0 ? cfg.grid.rank_of(pr, pq - 1) : -1;
+  const int east = pq < Q - 1 ? cfg.grid.rank_of(pr, pq + 1) : -1;
+
+  Group world = Group::world(ctx);
+  const bool numeric = cfg.numeric;
+
+  // Fields (allocated tiny in modeled mode to keep the code one path).
+  const std::int64_t ar = numeric ? rows : 1, ac = numeric ? cols : 1;
+  Field p(ar, ac);
+  std::vector<double> x(static_cast<std::size_t>(ar * ac), 0.0);
+  std::vector<double> r(static_cast<std::size_t>(ar * ac), 0.0);
+  std::vector<double> ap(static_cast<std::size_t>(ar * ac), 0.0);
+
+  auto lin = [ac](std::int64_t i, std::int64_t j) {
+    return static_cast<std::size_t>(i * ac + j);
+  };
+
+  // Exchange the halo ring of `p` with the four neighbours.
+  auto halo_exchange = [&](void) -> Task<> {
+    const Bytes row_bytes = nx::doubles_bytes(static_cast<std::size_t>(cols));
+    const Bytes col_bytes = nx::doubles_bytes(static_cast<std::size_t>(rows));
+    // Sends (buffered; no rendezvous deadlock).
+    if (north >= 0) {
+      Payload pay;
+      if (numeric) {
+        std::vector<double> row(static_cast<std::size_t>(cols));
+        for (std::int64_t j = 0; j < cols; ++j)
+          row[static_cast<std::size_t>(j)] = p.at(0, j);
+        pay = nx::make_payload(std::move(row));
+      }
+      co_await ctx.send(north, kTagHalo + 0, row_bytes, std::move(pay));
+    }
+    if (south >= 0) {
+      Payload pay;
+      if (numeric) {
+        std::vector<double> row(static_cast<std::size_t>(cols));
+        for (std::int64_t j = 0; j < cols; ++j)
+          row[static_cast<std::size_t>(j)] = p.at(rows - 1, j);
+        pay = nx::make_payload(std::move(row));
+      }
+      co_await ctx.send(south, kTagHalo + 1, row_bytes, std::move(pay));
+    }
+    if (west >= 0) {
+      Payload pay;
+      if (numeric) {
+        std::vector<double> col(static_cast<std::size_t>(rows));
+        for (std::int64_t i = 0; i < rows; ++i)
+          col[static_cast<std::size_t>(i)] = p.at(i, 0);
+        pay = nx::make_payload(std::move(col));
+      }
+      co_await ctx.send(west, kTagHalo + 2, col_bytes, std::move(pay));
+    }
+    if (east >= 0) {
+      Payload pay;
+      if (numeric) {
+        std::vector<double> col(static_cast<std::size_t>(rows));
+        for (std::int64_t i = 0; i < rows; ++i)
+          col[static_cast<std::size_t>(i)] = p.at(i, cols - 1);
+        pay = nx::make_payload(std::move(col));
+      }
+      co_await ctx.send(east, kTagHalo + 3, col_bytes, std::move(pay));
+    }
+    // Receives (the neighbour's opposite-direction tag).
+    if (south >= 0) {
+      Message m = co_await ctx.recv(south, kTagHalo + 0);
+      if (numeric)
+        for (std::int64_t j = 0; j < cols; ++j)
+          p.at(rows, j) = m.values()[static_cast<std::size_t>(j)];
+    }
+    if (north >= 0) {
+      Message m = co_await ctx.recv(north, kTagHalo + 1);
+      if (numeric)
+        for (std::int64_t j = 0; j < cols; ++j)
+          p.at(-1, j) = m.values()[static_cast<std::size_t>(j)];
+    }
+    if (east >= 0) {
+      Message m = co_await ctx.recv(east, kTagHalo + 2);
+      if (numeric)
+        for (std::int64_t i = 0; i < rows; ++i)
+          p.at(i, cols) = m.values()[static_cast<std::size_t>(i)];
+    }
+    if (west >= 0) {
+      Message m = co_await ctx.recv(west, kTagHalo + 3);
+      if (numeric)
+        for (std::int64_t i = 0; i < rows; ++i)
+          p.at(i, -1) = m.values()[static_cast<std::size_t>(i)];
+    }
+  };
+
+  // Global sum helper.
+  auto gsum = [&](double local) -> Task<double> {
+    Payload contrib;
+    if (numeric) contrib = nx::payload_of(local);
+    Message m = co_await nx::allreduce(ctx, world, nx::ReduceOp::Sum,
+                                       nx::doubles_bytes(1), contrib);
+    co_return numeric ? m.values().at(0) : 0.0;
+  };
+
+  // ------------------------------------------------------------ init --
+  // b = 1 everywhere; x = 0; r = b; p = r.
+  double rr_local = 0.0;
+  if (numeric) {
+    for (std::int64_t i = 0; i < rows; ++i)
+      for (std::int64_t j = 0; j < cols; ++j) {
+        r[lin(i, j)] = 1.0;
+        p.at(i, j) = 1.0;
+      }
+    rr_local = static_cast<double>(cells);
+  }
+  const double b_norm2_global =
+      static_cast<double>(cfg.grid_n) * static_cast<double>(cfg.grid_n);
+
+  co_await nx::barrier(ctx, world);
+  if (rank == 0) st.t_start = ctx.now();
+
+  double rr = co_await gsum(rr_local);
+  const double stop2 =
+      cfg.rel_tol * cfg.rel_tol * (numeric ? rr : b_norm2_global);
+
+  const std::int32_t iters =
+      numeric ? cfg.max_iters : cfg.modeled_iters;
+  std::int32_t it = 0;
+  bool converged = false;
+  for (; it < iters; ++it) {
+    co_await halo_exchange();
+
+    // Ap = A p (5-point Laplacian) and p . Ap, fused.
+    double pap_local = 0.0;
+    if (numeric) {
+      for (std::int64_t i = 0; i < rows; ++i)
+        for (std::int64_t j = 0; j < cols; ++j) {
+          const double v = 4.0 * p.at(i, j) - p.at(i - 1, j) -
+                           p.at(i + 1, j) - p.at(i, j - 1) - p.at(i, j + 1);
+          ap[lin(i, j)] = v;
+          pap_local += p.at(i, j) * v;
+        }
+    }
+    co_await ctx.compute(Kernel::Stencil, rows, cols);
+    co_await ctx.compute(Kernel::Dot, cells);
+    const double pap = co_await gsum(pap_local);
+
+    const double alpha = numeric ? rr / pap : 0.0;
+
+    // x += alpha p ; r -= alpha Ap ; rr_new = r.r
+    double rr_new_local = 0.0;
+    if (numeric) {
+      for (std::int64_t i = 0; i < rows; ++i)
+        for (std::int64_t j = 0; j < cols; ++j) {
+          x[lin(i, j)] += alpha * p.at(i, j);
+          r[lin(i, j)] -= alpha * ap[lin(i, j)];
+          rr_new_local += r[lin(i, j)] * r[lin(i, j)];
+        }
+    }
+    co_await ctx.compute(Kernel::Axpy, 2 * cells);
+    co_await ctx.compute(Kernel::Dot, cells);
+    const double rr_new = co_await gsum(rr_new_local);
+
+    if (numeric && rr_new <= stop2) {
+      converged = true;
+      ++it;
+      break;
+    }
+
+    // p = r + beta p  (interior only; halos refresh next iteration).
+    const double beta = numeric ? rr_new / rr : 0.0;
+    if (numeric) {
+      for (std::int64_t i = 0; i < rows; ++i)
+        for (std::int64_t j = 0; j < cols; ++j)
+          p.at(i, j) = r[lin(i, j)] + beta * p.at(i, j);
+    }
+    co_await ctx.compute(Kernel::Axpy, cells);
+    rr = rr_new;
+  }
+
+  co_await nx::barrier(ctx, world);
+  if (rank == 0) {
+    st.t_end = ctx.now();
+    st.iterations = it;
+    st.converged = numeric ? converged : true;
+  }
+
+  // ------------------------------- true residual (numeric, untimed) --
+  if (numeric) {
+    // Reuse p's storage to hold x (halo exchange needs the ring).
+    for (std::int64_t i = 0; i < rows; ++i)
+      for (std::int64_t j = 0; j < cols; ++j) p.at(i, j) = x[lin(i, j)];
+    co_await halo_exchange();
+    double res_local = 0.0;
+    for (std::int64_t i = 0; i < rows; ++i)
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const double ax = 4.0 * p.at(i, j) - p.at(i - 1, j) -
+                          p.at(i + 1, j) - p.at(i, j - 1) - p.at(i, j + 1);
+        const double d = 1.0 - ax;
+        res_local += d * d;
+      }
+    const double res = co_await gsum(res_local);
+    if (rank == 0)
+      st.residual = std::sqrt(res) / std::sqrt(b_norm2_global);
+  }
+}
+
+}  // namespace
+
+sim::Time CgResult::per_iteration() const {
+  if (iterations == 0) return sim::Time::zero();
+  return sim::Time::ps(elapsed.picoseconds() /
+                       static_cast<std::uint64_t>(iterations));
+}
+
+CgResult run_distributed_cg(nx::NxMachine& machine, const CgConfig& cfg) {
+  HPCCSIM_EXPECTS(cfg.grid.size() == machine.nodes());
+  HPCCSIM_EXPECTS(cfg.grid_n >= cfg.grid.rows && cfg.grid_n >= cfg.grid.cols);
+
+  CgState st{cfg, 0, false, {}, {}, {}};
+  const auto before = machine.total_stats();
+  machine.run([&st](nx::NxContext& ctx) { return cg_node(ctx, st); });
+  const auto after = machine.total_stats();
+
+  CgResult res;
+  res.iterations = st.iterations;
+  res.converged = st.converged;
+  res.residual = st.residual;
+  res.elapsed = st.t_end - st.t_start;
+  res.messages = after.sends - before.sends;
+  res.bytes_moved = after.bytes_sent - before.bytes_sent;
+  return res;
+}
+
+}  // namespace hpccsim::linalg

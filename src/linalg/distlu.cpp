@@ -1,0 +1,693 @@
+#include "linalg/distlu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/blas.hpp"
+#include "linalg/verify.hpp"
+#include "nx/collectives.hpp"
+#include "proc/kernel_model.hpp"
+#include "util/log.hpp"
+
+namespace hpccsim::linalg {
+
+namespace {
+
+using nx::Group;
+using nx::Message;
+using nx::NxContext;
+using nx::Payload;
+using nx::ReduceOp;
+using proc::Kernel;
+using sim::Task;
+using sim::Time;
+
+// User-tag bases (collectives use their own space above 1<<20).
+constexpr int kTagScatter = 100;
+constexpr int kTagScatterB = 101;
+constexpr int kTagPanelSwap = 200;
+constexpr int kTagTrailSwap = 300;
+constexpr int kTagGatherX = 400;
+// Triangular-solve tags; +k%16 keeps adjacent steps distinct.
+constexpr int kTagSolveFetch = 600;
+constexpr int kTagSolveStore = 620;
+constexpr int kTagSolveUpdate = 640;
+
+/// Everything the node programs share. Lives on the host stack for the
+/// duration of the run; the simulation is single-threaded, so plain
+/// members are safe.
+struct LuState {
+  LuConfig cfg;
+  BlockCyclic dist;
+  bool numeric;
+
+  // Numeric mode only.
+  Matrix a_full;                 // original A (rank 0)
+  std::vector<double> b;         // right-hand side (rank 0, pristine)
+  std::vector<Matrix> local;     // per-rank local block-cyclic storage
+  // Local slice of b / y / x, held by process-column-0 ranks; row
+  // distribution matches the matrix rows.
+  std::vector<std::vector<double>> local_b;
+  std::vector<std::int64_t> pivots;  // global pivot rows, in step order
+  std::optional<double> residual;
+
+  // Timing (recorded by rank 0 inside the program).
+  Time t_start;
+  Time t_end;
+
+  explicit LuState(const LuConfig& c)
+      : cfg(c), dist(c.n, c.nb, c.grid),
+        numeric(c.mode == ExecMode::Numeric) {}
+};
+
+Group row_group(const LuConfig& cfg, std::int32_t prow) {
+  std::vector<int> ranks;
+  ranks.reserve(static_cast<std::size_t>(cfg.grid.cols));
+  for (std::int32_t q = 0; q < cfg.grid.cols; ++q)
+    ranks.push_back(cfg.grid.rank_of(prow, q));
+  return Group(std::move(ranks), /*tag_space=*/1 + prow);
+}
+
+Group col_group(const LuConfig& cfg, std::int32_t pcol) {
+  std::vector<int> ranks;
+  ranks.reserve(static_cast<std::size_t>(cfg.grid.rows));
+  for (std::int32_t p = 0; p < cfg.grid.rows; ++p)
+    ranks.push_back(cfg.grid.rank_of(p, pcol));
+  return Group(std::move(ranks), /*tag_space=*/1 + cfg.grid.rows + pcol);
+}
+
+/// Pack a row segment (given local columns) of a local matrix.
+std::vector<double> pack_row(const Matrix& m, std::int64_t lrow,
+                             const std::vector<std::int64_t>& lcols) {
+  std::vector<double> out;
+  out.reserve(lcols.size());
+  for (const std::int64_t lc : lcols) out.push_back(m(lrow, lc));
+  return out;
+}
+
+void unpack_row(Matrix& m, std::int64_t lrow,
+                const std::vector<std::int64_t>& lcols,
+                const std::vector<double>& vals) {
+  HPCCSIM_EXPECTS(vals.size() == lcols.size());
+  for (std::size_t i = 0; i < lcols.size(); ++i)
+    m(lrow, lcols[i]) = vals[i];
+}
+
+/// The SPMD node program.
+Task<> lu_node_program(NxContext& ctx, LuState& st) {
+  const LuConfig& cfg = st.cfg;
+  const BlockCyclic& dist = st.dist;
+  const std::int64_t n = cfg.n;
+  const std::int32_t P = cfg.grid.rows, Q = cfg.grid.cols;
+  const int rank = ctx.rank();
+  const std::int32_t prow = cfg.grid.prow_of(rank);
+  const std::int32_t pcol = cfg.grid.pcol_of(rank);
+  const std::int64_t lrows = dist.local_rows(prow);
+  const std::int64_t lcols = dist.local_cols(pcol);
+
+  Group rowg = row_group(cfg, prow);
+  Group colg = col_group(cfg, pcol);
+  Group world = Group::world(ctx);
+
+  Matrix& A = st.local[static_cast<std::size_t>(rank)];
+
+  // ------------------------------------------------ setup (untimed) --
+  if (st.numeric) {
+    A = Matrix(lrows, lcols);
+    if (rank == 0) {
+      // Rank 0 generates the global problem and distributes it.
+      Rng rng(cfg.seed);
+      st.a_full = Matrix::random(n, n, rng);
+      st.b = random_vector(n, rng);
+      for (int r = 0; r < ctx.nodes(); ++r) {
+        const std::int32_t rp = cfg.grid.prow_of(r);
+        const std::int32_t rq = cfg.grid.pcol_of(r);
+        const std::int64_t rl = dist.local_rows(rp);
+        const std::int64_t rc = dist.local_cols(rq);
+        std::vector<double> block(static_cast<std::size_t>(rl * rc));
+        for (std::int64_t lc = 0; lc < rc; ++lc) {
+          const std::int64_t gc = dist.global_col(rq, lc);
+          for (std::int64_t lr = 0; lr < rl; ++lr)
+            block[static_cast<std::size_t>(lc * rl + lr)] =
+                st.a_full(dist.global_row(rp, lr), gc);
+        }
+        if (r == 0) {
+          std::copy(block.begin(), block.end(), A.data().begin());
+        } else {
+          // Byte count taken before the move (argument evaluation order).
+          const Bytes blk_bytes = nx::doubles_bytes(block.size());
+          co_await ctx.send(r, kTagScatter, blk_bytes,
+                            nx::make_payload(std::move(block)));
+        }
+      }
+    } else {
+      Message m = co_await ctx.recv(0, kTagScatter);
+      const auto& vals = m.values();
+      HPCCSIM_ASSERT(vals.size() == A.data().size());
+      std::copy(vals.begin(), vals.end(), A.data().begin());
+    }
+    // Distribute the right-hand side across process column 0.
+    if (rank == 0) {
+      for (std::int32_t rp = 0; rp < P; ++rp) {
+        const std::int64_t rl = dist.local_rows(rp);
+        std::vector<double> seg(static_cast<std::size_t>(rl));
+        for (std::int64_t lr = 0; lr < rl; ++lr)
+          seg[static_cast<std::size_t>(lr)] =
+              st.b[static_cast<std::size_t>(dist.global_row(rp, lr))];
+        const int dst = cfg.grid.rank_of(rp, 0);
+        if (dst == 0) {
+          st.local_b[0] = std::move(seg);
+        } else {
+          const Bytes seg_bytes = nx::doubles_bytes(seg.size());
+          co_await ctx.send(dst, kTagScatterB, seg_bytes,
+                            nx::make_payload(std::move(seg)));
+        }
+      }
+    } else if (pcol == 0) {
+      Message m = co_await ctx.recv(0, kTagScatterB);
+      st.local_b[static_cast<std::size_t>(rank)] = m.values();
+    }
+  }
+  // Local view of this node's slice of b (empty off process column 0,
+  // and in modeled mode).
+  std::vector<double>& bloc = st.local_b[static_cast<std::size_t>(rank)];
+  co_await nx::barrier(ctx, world);
+  if (rank == 0) st.t_start = ctx.now();
+
+  // ------------------------------------------------- factorization --
+  const std::int64_t nblocks = dist.block_count();
+  for (std::int64_t k = 0; k < nblocks; ++k) {
+    const std::int64_t j0 = k * cfg.nb;
+    const std::int64_t jb = std::min<std::int64_t>(cfg.nb, n - j0);
+    const auto pc = static_cast<std::int32_t>(k % Q);  // panel proc col
+    const auto pr = static_cast<std::int32_t>(k % P);  // diag proc row
+
+    // Local panel geometry.
+    const std::int64_t panel_lc0 = dist.first_local_col_at_or_after(pcol, j0);
+    std::vector<std::int64_t> piv_this_panel;  // global pivot rows
+
+    // ---- 1. panel factorization (process column pc only) ----
+    if (pcol == pc) {
+      for (std::int64_t j = j0; j < j0 + jb; ++j) {
+        const std::int64_t lj = panel_lc0 + (j - j0);  // local col of j
+        const std::int64_t lr0 = dist.first_local_row_at_or_after(prow, j);
+        const std::int64_t mloc = lrows - lr0;
+
+        // Local pivot candidate.
+        Payload cand;
+        if (st.numeric) {
+          double bv = 0.0;
+          std::int64_t bg = n;  // sentinel: "no rows here"
+          if (mloc > 0) {
+            const std::int64_t li = lr0 + idamax(mloc, A.col(lj) + lr0);
+            bv = A(li, lj);
+            bg = dist.global_row(prow, li);
+          }
+          cand = nx::make_payload({bv, static_cast<double>(bg)});
+        }
+        if (mloc > 0) co_await ctx.compute(Kernel::Dot, mloc);
+        Message red = co_await nx::allreduce(ctx, colg, ReduceOp::MaxAbsLoc,
+                                             nx::doubles_bytes(2), cand);
+
+        // Pivot decision. Modeled mode: a deterministic stand-in that is
+        // computable by every process column. A real pivot row lands on
+        // a remote process row with probability (P-1)/P; the stand-in
+        // reproduces that fraction by keeping every P-th column's pivot
+        // local (no exchange) and sending the rest one block row down.
+        std::int64_t piv_row =
+            (j % P == 0) ? j : std::min(j + cfg.nb, n - 1);
+        if (st.numeric) {
+          const auto& v = red.values();
+          HPCCSIM_ASSERT(v.size() == 2);
+          if (v[0] == 0.0)
+            throw std::domain_error("distributed LU: singular matrix");
+          piv_row = static_cast<std::int64_t>(v[1]);
+        }
+        piv_this_panel.push_back(piv_row);
+
+        // Swap rows j and piv_row within the panel columns.
+        const std::int32_t oj = dist.owner_prow(j);
+        const std::int32_t op = dist.owner_prow(piv_row);
+        std::vector<std::int64_t> panel_cols(static_cast<std::size_t>(jb));
+        for (std::int64_t c = 0; c < jb; ++c)
+          panel_cols[static_cast<std::size_t>(c)] = panel_lc0 + c;
+        if (piv_row != j) {
+          if (oj == op) {
+            if (prow == oj) {
+              if (st.numeric)
+                drowswap(jb, A.col(panel_lc0), lrows, dist.local_row(j),
+                         dist.local_row(piv_row));
+              co_await ctx.compute(Kernel::Swap, jb);
+            }
+          } else if (prow == oj || prow == op) {
+            const std::int64_t my_row =
+                prow == oj ? dist.local_row(j) : dist.local_row(piv_row);
+            const int partner = cfg.grid.rank_of(prow == oj ? op : oj, pcol);
+            std::vector<double> mine;
+            Payload pay;
+            if (st.numeric) {
+              mine = pack_row(A, my_row, panel_cols);
+              pay = nx::make_payload(mine);
+            }
+            const int tag = kTagPanelSwap + static_cast<int>(j % 64);
+            co_await ctx.send(partner, tag, nx::doubles_bytes(
+                                                static_cast<std::size_t>(jb)),
+                              pay);
+            Message got = co_await ctx.recv(partner, tag);
+            if (st.numeric) unpack_row(A, my_row, panel_cols, got.values());
+            co_await ctx.compute(Kernel::Swap, jb);
+          }
+        }
+
+        // Broadcast the pivot row's panel segment (from the diagonal to
+        // the panel edge) down the process column.
+        const std::int64_t seg = jb - (j - j0);
+        Payload rowseg;
+        if (st.numeric && prow == oj) {
+          std::vector<double> vals(static_cast<std::size_t>(seg));
+          const std::int64_t lr = dist.local_row(j);
+          for (std::int64_t c = 0; c < seg; ++c)
+            vals[static_cast<std::size_t>(c)] = A(lr, lj + c);
+          rowseg = nx::make_payload(std::move(vals));
+        }
+        Message prow_msg =
+            co_await nx::bcast(ctx, colg, cfg.grid.rank_of(oj, pcol),
+                               nx::doubles_bytes(static_cast<std::size_t>(seg)),
+                               rowseg);
+
+        // Scale the multipliers and rank-1 update the rest of the panel.
+        const std::int64_t lr1 = dist.first_local_row_at_or_after(prow, j + 1);
+        const std::int64_t below = lrows - lr1;
+        if (below > 0) {
+          if (st.numeric) {
+            const auto& rv = prow_msg.values();
+            const double diag = rv[0];
+            HPCCSIM_ASSERT(diag != 0.0);
+            dscal(below, 1.0 / diag, A.col(lj) + lr1);
+            for (std::int64_t c = 1; c < seg; ++c)
+              daxpy(below, -rv[static_cast<std::size_t>(c)],
+                    A.col(lj) + lr1, A.col(lj + c) + lr1);
+          }
+          co_await ctx.compute(Kernel::Scal, below);
+          if (seg > 1)
+            co_await ctx.compute(Kernel::Axpy, below * (seg - 1));
+        }
+      }
+    }
+
+    // ---- 2. pivot sequence along process rows ----
+    Payload pivpay;
+    if (pcol == pc) {
+      std::vector<double> pv;
+      pv.reserve(piv_this_panel.size());
+      for (const std::int64_t p : piv_this_panel)
+        pv.push_back(static_cast<double>(p));
+      pivpay = nx::make_payload(std::move(pv));
+    }
+    Message pivmsg = co_await nx::bcast(
+        ctx, rowg, cfg.grid.rank_of(prow, pc),
+        nx::doubles_bytes(static_cast<std::size_t>(jb)), pivpay);
+    if (pcol != pc) {
+      piv_this_panel.clear();
+      if (st.numeric) {
+        for (const double v : pivmsg.values())
+          piv_this_panel.push_back(static_cast<std::int64_t>(v));
+      } else {
+        // Same deterministic stand-in rule as the panel column used.
+        for (std::int64_t j = j0; j < j0 + jb; ++j)
+          piv_this_panel.push_back(
+              (j % P == 0) ? j : std::min(j + cfg.nb, n - 1));
+      }
+    }
+    if (rank == 0) {
+      for (const std::int64_t p : piv_this_panel) st.pivots.push_back(p);
+    }
+
+    // ---- 3. apply row swaps to non-panel local columns ----
+    {
+      // Columns outside the panel, in local indexing.
+      std::vector<std::int64_t> out_cols;
+      out_cols.reserve(static_cast<std::size_t>(lcols));
+      for (std::int64_t lc = 0; lc < lcols; ++lc) {
+        const std::int64_t gc = dist.global_col(pcol, lc);
+        if (gc < j0 || gc >= j0 + jb) out_cols.push_back(lc);
+      }
+      // Process column 0 also carries the right-hand side, whose rows
+      // must follow the same pivot swaps (HPL treats b as an extra
+      // column of the matrix); its value rides along in the exchange.
+      const bool has_b = pcol == 0;
+      if (!out_cols.empty() || has_b) {
+        const std::int64_t swap_width =
+            static_cast<std::int64_t>(out_cols.size()) + (has_b ? 1 : 0);
+        for (std::int64_t idx = 0;
+             idx < static_cast<std::int64_t>(piv_this_panel.size()); ++idx) {
+          const std::int64_t j = j0 + idx;
+          const std::int64_t p = piv_this_panel[static_cast<std::size_t>(idx)];
+          if (p == j) continue;
+          const std::int32_t oj = dist.owner_prow(j);
+          const std::int32_t op = dist.owner_prow(p);
+          if (oj == op) {
+            if (prow == oj) {
+              if (st.numeric) {
+                for (const std::int64_t lc : out_cols)
+                  std::swap(A(dist.local_row(j), lc), A(dist.local_row(p), lc));
+                if (has_b)
+                  std::swap(bloc[static_cast<std::size_t>(dist.local_row(j))],
+                            bloc[static_cast<std::size_t>(dist.local_row(p))]);
+              }
+              co_await ctx.compute(Kernel::Swap, swap_width);
+            }
+          } else if (prow == oj || prow == op) {
+            const std::int64_t my_row =
+                prow == oj ? dist.local_row(j) : dist.local_row(p);
+            const int partner = cfg.grid.rank_of(prow == oj ? op : oj, pcol);
+            Payload pay;
+            if (st.numeric) {
+              std::vector<double> mine = pack_row(A, my_row, out_cols);
+              if (has_b)
+                mine.push_back(bloc[static_cast<std::size_t>(my_row)]);
+              pay = nx::make_payload(std::move(mine));
+            }
+            const int tag = kTagTrailSwap + static_cast<int>(j % 64);
+            co_await ctx.send(
+                partner, tag,
+                nx::doubles_bytes(static_cast<std::size_t>(swap_width)), pay);
+            Message got = co_await ctx.recv(partner, tag);
+            if (st.numeric) {
+              const auto& vals = got.values();
+              HPCCSIM_ASSERT(static_cast<std::int64_t>(vals.size()) ==
+                             swap_width);
+              for (std::size_t i = 0; i < out_cols.size(); ++i)
+                A(my_row, out_cols[i]) = vals[i];
+              if (has_b)
+                bloc[static_cast<std::size_t>(my_row)] = vals.back();
+            }
+            co_await ctx.compute(Kernel::Swap, swap_width);
+          }
+        }
+      }
+    }
+
+    // ---- 4. broadcast the L panel along process rows ----
+    const std::int64_t plr0 = dist.first_local_row_at_or_after(prow, j0);
+    const std::int64_t pm = lrows - plr0;  // local panel rows (incl. L11 part)
+    Payload lpanel;
+    if (st.numeric && pcol == pc && pm > 0) {
+      std::vector<double> vals(static_cast<std::size_t>(pm * jb));
+      for (std::int64_t c = 0; c < jb; ++c)
+        for (std::int64_t r = 0; r < pm; ++r)
+          vals[static_cast<std::size_t>(c * pm + r)] =
+              A(plr0 + r, panel_lc0 + c);
+      lpanel = nx::make_payload(std::move(vals));
+    }
+    Message lmsg = co_await nx::bcast(
+        ctx, rowg, cfg.grid.rank_of(prow, pc),
+        nx::doubles_bytes(static_cast<std::size_t>(std::max<std::int64_t>(
+            pm * jb, 0))),
+        lpanel);
+    // Local copy of the L panel this process will multiply with.
+    const std::vector<double>* lvals =
+        st.numeric ? &lmsg.values() : nullptr;
+
+    // ---- 5. U block: trsm on the diagonal process row, bcast down ----
+    const std::int64_t tlc0 = dist.first_local_col_at_or_after(pcol, j0 + jb);
+    const std::int64_t tn = lcols - tlc0;  // local trailing cols
+    Payload ublock;
+    if (prow == pr && tn > 0) {
+      if (st.numeric) {
+        // L11 sits at the top of the received panel (rows of block k are
+        // contiguous on the diagonal process row).
+        HPCCSIM_ASSERT(lvals && static_cast<std::int64_t>(lvals->size()) >=
+                                    jb * jb);
+        std::vector<double> u(static_cast<std::size_t>(jb * tn));
+        const std::int64_t l11_row0 = dist.local_row(j0) - plr0;
+        for (std::int64_t c = 0; c < tn; ++c)
+          for (std::int64_t r = 0; r < jb; ++r)
+            u[static_cast<std::size_t>(c * jb + r)] =
+                A(dist.local_row(j0) + r, tlc0 + c);
+        // Forward substitution with unit-lower L11.
+        std::vector<double> l11(static_cast<std::size_t>(jb * jb));
+        for (std::int64_t c = 0; c < jb; ++c)
+          for (std::int64_t r = 0; r < jb; ++r)
+            l11[static_cast<std::size_t>(c * jb + r)] =
+                (*lvals)[static_cast<std::size_t>(c * pm + l11_row0 + r)];
+        dtrsm_lower_unit(jb, tn, l11.data(), jb, u.data(), jb);
+        // Write U12 back into the local trailing block row.
+        for (std::int64_t c = 0; c < tn; ++c)
+          for (std::int64_t r = 0; r < jb; ++r)
+            A(dist.local_row(j0) + r, tlc0 + c) =
+                u[static_cast<std::size_t>(c * jb + r)];
+        ublock = nx::make_payload(std::move(u));
+      }
+      co_await ctx.compute(Kernel::Trsm, jb, tn);
+    }
+    Message umsg = co_await nx::bcast(
+        ctx, colg, cfg.grid.rank_of(pr, pcol),
+        nx::doubles_bytes(static_cast<std::size_t>(
+            std::max<std::int64_t>(jb * tn, 0))),
+        ublock);
+
+    // ---- 6. trailing update ----
+    const std::int64_t ulr0 = dist.first_local_row_at_or_after(prow, j0 + jb);
+    const std::int64_t tm = lrows - ulr0;  // local trailing rows
+    if (tm > 0 && tn > 0) {
+      if (st.numeric) {
+        const auto& uv = umsg.values();
+        HPCCSIM_ASSERT(static_cast<std::int64_t>(uv.size()) == jb * tn);
+        // L21 rows of the received panel: those below j0+jb globally.
+        const std::int64_t l21_off = ulr0 - plr0;
+        HPCCSIM_ASSERT(lvals && static_cast<std::int64_t>(lvals->size()) ==
+                                    pm * jb);
+        dgemm_minus(tm, tn, jb, lvals->data() + l21_off, pm, uv.data(), jb,
+                    A.col(tlc0) + ulr0, lrows);
+      }
+      co_await ctx.compute(Kernel::Gemm, tm, tn, jb);
+    }
+  }
+
+  // --------------------------- distributed triangular solve (timed) --
+  //
+  // Right-looking block substitution. At step k the diagonal-block
+  // owner (pr_k, pc_k) solves its nb x nb triangle against the current
+  // slice of b (fetched from process column 0), the block solution is
+  // broadcast down process column pc_k, every process in that column
+  // forms its local matrix-vector update, and the updates land back on
+  // process column 0 where b lives. The forward (L, unit-lower) pass
+  // runs blocks 0..B-1; the backward (U) pass runs B-1..0.
+  //
+  // Pivot swaps were already applied to b during factorization (the b
+  // entries ride along in the trailing row exchanges), so L y = b~ and
+  // U x = y complete the LINPACK solve.
+  if (cfg.include_solve) {
+    for (const bool forward : {true, false}) {
+      for (std::int64_t step = 0; step < nblocks; ++step) {
+        const std::int64_t k = forward ? step : nblocks - 1 - step;
+        const std::int64_t j0 = k * cfg.nb;
+        const std::int64_t jb = std::min<std::int64_t>(cfg.nb, n - j0);
+        const auto pc = static_cast<std::int32_t>(k % Q);
+        const auto pr = static_cast<std::int32_t>(k % P);
+        const int tagf = kTagSolveFetch + static_cast<int>(k % 16) +
+                         (forward ? 0 : 256);
+        const int tags = kTagSolveStore + static_cast<int>(k % 16) +
+                         (forward ? 0 : 256);
+        const int tagu = kTagSolveUpdate + static_cast<int>(k % 16) +
+                         (forward ? 0 : 256);
+        const std::int64_t lck0 =
+            dist.first_local_col_at_or_after(pcol, j0);
+        const std::int64_t lrk = dist.local_row(j0);  // valid on prow==pr
+
+        // (a) fetch b_k from (pr, 0) to the diagonal-block owner.
+        if (prow == pr && pcol == 0 && pc != 0) {
+          Payload pay;
+          if (st.numeric) {
+            std::vector<double> seg(
+                bloc.begin() + lrk, bloc.begin() + lrk + jb);
+            pay = nx::make_payload(std::move(seg));
+          }
+          co_await ctx.send(cfg.grid.rank_of(pr, pc), tagf,
+                            nx::doubles_bytes(static_cast<std::size_t>(jb)),
+                            pay);
+        }
+
+        // (b) solve the diagonal block; (c) store y_k back on column 0.
+        Payload ypay;  // the block solution, produced on (pr, pc)
+        if (prow == pr && pcol == pc) {
+          std::vector<double> y;
+          if (st.numeric) {
+            if (pc == 0) {
+              y.assign(bloc.begin() + lrk, bloc.begin() + lrk + jb);
+            } else {
+              Message m = co_await ctx.recv(cfg.grid.rank_of(pr, 0), tagf);
+              y = m.values();
+            }
+            if (forward) {
+              dtrsm_lower_unit(jb, 1, A.col(lck0) + lrk, lrows, y.data(), jb);
+            } else {
+              dtrsm_upper(jb, 1, A.col(lck0) + lrk, lrows, y.data(), jb);
+            }
+          } else if (pc != 0) {
+            (void)co_await ctx.recv(cfg.grid.rank_of(pr, 0), tagf);
+          }
+          co_await ctx.compute(Kernel::Trsm, jb, 1);
+          if (st.numeric) {
+            if (pc == 0) {
+              std::copy(y.begin(), y.end(), bloc.begin() + lrk);
+            }
+            ypay = nx::make_payload(std::move(y));
+          }
+          if (pc != 0)
+            co_await ctx.send(cfg.grid.rank_of(pr, 0), tags,
+                              nx::doubles_bytes(static_cast<std::size_t>(jb)),
+                              ypay);
+        }
+        if (prow == pr && pcol == 0 && pc != 0) {
+          Message m = co_await ctx.recv(cfg.grid.rank_of(pr, pc), tags);
+          if (st.numeric)
+            std::copy(m.values().begin(), m.values().end(),
+                      bloc.begin() + lrk);
+        }
+
+        // (d) broadcast y_k down process column pc_k; (e) each member
+        // forms its local update u = A[rows, block-k cols] * y_k and
+        // ships it to its row's column-0 process.
+        if (pcol == pc) {
+          Message ym = co_await nx::bcast(
+              ctx, colg, cfg.grid.rank_of(pr, pcol),
+              nx::doubles_bytes(static_cast<std::size_t>(jb)), ypay);
+          // Rows this update touches: below the block (forward pass) or
+          // above it (backward pass).
+          const std::int64_t lr_lo =
+              forward ? dist.first_local_row_at_or_after(prow, j0 + jb) : 0;
+          const std::int64_t lr_hi =
+              forward ? lrows : dist.first_local_row_at_or_after(prow, j0);
+          const std::int64_t m_upd = lr_hi - lr_lo;
+          if (m_upd > 0) {
+            Payload upay;
+            if (st.numeric) {
+              const auto& y = ym.values();
+              std::vector<double> u(static_cast<std::size_t>(m_upd), 0.0);
+              for (std::int64_t c = 0; c < jb; ++c) {
+                const double yc = y[static_cast<std::size_t>(c)];
+                if (yc == 0.0) continue;
+                const double* col = A.col(lck0 + c);
+                for (std::int64_t i = 0; i < m_upd; ++i)
+                  u[static_cast<std::size_t>(i)] += col[lr_lo + i] * yc;
+              }
+              upay = nx::make_payload(std::move(u));
+            }
+            co_await ctx.compute(Kernel::Gemm, m_upd, 1, jb);
+            if (pc == 0) {
+              // Same process owns this slice of b: apply directly.
+              if (st.numeric) {
+                const auto& u = *upay;
+                for (std::int64_t i = 0; i < m_upd; ++i)
+                  bloc[static_cast<std::size_t>(lr_lo + i)] -=
+                      u[static_cast<std::size_t>(i)];
+              }
+              co_await ctx.compute(Kernel::Axpy, m_upd);
+            } else {
+              co_await ctx.send(
+                  cfg.grid.rank_of(prow, 0), tagu,
+                  nx::doubles_bytes(static_cast<std::size_t>(m_upd)), upay);
+            }
+          }
+        }
+        if (pcol == 0 && pc != 0) {
+          const std::int64_t lr_lo =
+              forward ? dist.first_local_row_at_or_after(prow, j0 + jb) : 0;
+          const std::int64_t lr_hi =
+              forward ? lrows : dist.first_local_row_at_or_after(prow, j0);
+          const std::int64_t m_upd = lr_hi - lr_lo;
+          if (m_upd > 0) {
+            Message m = co_await ctx.recv(cfg.grid.rank_of(prow, pc), tagu);
+            if (st.numeric) {
+              const auto& u = m.values();
+              for (std::int64_t i = 0; i < m_upd; ++i)
+                bloc[static_cast<std::size_t>(lr_lo + i)] -=
+                    u[static_cast<std::size_t>(i)];
+            }
+            co_await ctx.compute(Kernel::Axpy, m_upd);
+          }
+        }
+      }
+    }
+  }
+
+  co_await nx::barrier(ctx, world);
+  if (rank == 0) st.t_end = ctx.now();
+
+  // --------------------------------- verification (numeric, untimed) --
+  //
+  // Process column 0 now holds x; rank 0 gathers it and checks the HPL
+  // scaled residual against the pristine A and b.
+  if (st.numeric && cfg.include_solve) {
+    if (rank == 0) {
+      std::vector<double> x(static_cast<std::size_t>(n));
+      for (std::int32_t rp = 0; rp < P; ++rp) {
+        const int src = cfg.grid.rank_of(rp, 0);
+        std::vector<double> seg;
+        if (src == 0) {
+          seg = bloc;
+        } else {
+          Message m = co_await ctx.recv(src, kTagGatherX);
+          seg = m.values();
+        }
+        const std::int64_t rl = dist.local_rows(rp);
+        HPCCSIM_ASSERT(static_cast<std::int64_t>(seg.size()) == rl);
+        for (std::int64_t lr = 0; lr < rl; ++lr)
+          x[static_cast<std::size_t>(dist.global_row(rp, lr))] =
+              seg[static_cast<std::size_t>(lr)];
+      }
+      st.residual = scaled_residual(st.a_full, x, st.b);
+    } else if (pcol == 0) {
+      std::vector<double> seg = bloc;
+      const Bytes seg_bytes = nx::doubles_bytes(seg.size());
+      co_await ctx.send(0, kTagGatherX, seg_bytes,
+                        nx::make_payload(std::move(seg)));
+    }
+  }
+}
+
+}  // namespace
+
+LuConfig lu_config_for(const nx::NxMachine& machine, std::int64_t n,
+                       std::int64_t nb, ExecMode mode) {
+  LuConfig cfg;
+  cfg.n = n;
+  cfg.nb = nb;
+  cfg.mode = mode;
+  cfg.grid = ProcessGrid{machine.config().mesh_height,
+                         machine.config().mesh_width};
+  return cfg;
+}
+
+LuResult run_distributed_lu(nx::NxMachine& machine, const LuConfig& cfg) {
+  HPCCSIM_EXPECTS(cfg.grid.size() == machine.nodes());
+  HPCCSIM_EXPECTS(cfg.n >= 1 && cfg.nb >= 1);
+
+  LuState st(cfg);
+  st.local.resize(static_cast<std::size_t>(machine.nodes()));
+  st.local_b.resize(static_cast<std::size_t>(machine.nodes()));
+
+  const auto before = machine.total_stats();
+  machine.run([&st](nx::NxContext& ctx) { return lu_node_program(ctx, st); });
+  const auto after = machine.total_stats();
+
+  LuResult res;
+  res.elapsed = st.t_end - st.t_start;
+  res.gflops = lu_solve_flops(static_cast<double>(cfg.n)) /
+               res.elapsed.as_sec() / 1e9;
+  res.residual = st.residual;
+  res.messages = after.sends - before.sends;
+  res.bytes_moved = after.bytes_sent - before.bytes_sent;
+  res.flops_charged = after.flops_charged - before.flops_charged;
+  res.compute_time = after.compute_time - before.compute_time;
+  HPCCSIM_LOG(Debug) << "distlu n=" << cfg.n << " nb=" << cfg.nb << " grid="
+                     << cfg.grid.rows << "x" << cfg.grid.cols << " t="
+                     << res.elapsed.str() << " gflops=" << res.gflops;
+  return res;
+}
+
+}  // namespace hpccsim::linalg

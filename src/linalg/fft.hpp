@@ -1,0 +1,65 @@
+// Fast Fourier transforms: a local radix-2 kernel and a distributed
+// four-step (transpose) FFT — the communication archetype of the CAS
+// spectral codes the paper's aerosciences program funded. Where LU
+// stresses broadcasts and CG stresses latency-critical reductions, the
+// transpose FFT is an all-to-all bandwidth workload: the global
+// transpose moves the entire dataset across the mesh bisection.
+//
+// Four-step algorithm (Bailey) for N = N1 x N2 points:
+//   view x as an N1 x N2 matrix M[n1][n2] = x[n1 + N1*n2];
+//   1. FFT each row (length N2);
+//   2. multiply by twiddles W_N^(n1*k2);
+//   3. global transpose (the alltoall);
+//   4. FFT each row of the transposed matrix (length N1);
+//   then X[N2*k1 + k2] = C[k2][k1] of the final matrix.
+//
+// Rows n1 are band-distributed over the P processes; after the
+// transpose, k2-rows are band-distributed.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/time.hpp"
+#include "nx/machine_runtime.hpp"
+#include "util/units.hpp"
+
+namespace hpccsim::linalg {
+
+using Complex = std::complex<double>;
+
+/// In-place radix-2 Cooley–Tukey FFT; n must be a power of two.
+/// `inverse` computes the unscaled inverse transform (divide by n to
+/// invert exactly).
+void fft_radix2(std::vector<Complex>& a, bool inverse = false);
+
+/// Naive O(n^2) DFT (reference for testing).
+std::vector<Complex> dft_reference(const std::vector<Complex>& x,
+                                   bool inverse = false);
+
+struct FftConfig {
+  /// Total points N = n1 * n2; both must be powers of two, and n1 must
+  /// be divisible by the node count (row bands).
+  std::int64_t n1 = 256;
+  std::int64_t n2 = 256;
+  bool numeric = true;
+  std::uint64_t seed = 1;
+};
+
+struct FftResult {
+  sim::Time elapsed;
+  /// 5 N log2(N) / elapsed.
+  double mflops = 0.0;
+  /// Numeric: max |X - DFT(x)| / max|DFT(x)| against the reference
+  /// (computed at rank 0 on the gathered result); nullopt when modeled.
+  std::optional<double> error;
+  std::uint64_t messages = 0;
+  Bytes bytes_moved = 0;
+};
+
+/// Distributed forward FFT of n1*n2 points on the machine.
+FftResult run_distributed_fft(nx::NxMachine& machine, const FftConfig& cfg);
+
+}  // namespace hpccsim::linalg

@@ -1,0 +1,47 @@
+#include "linalg/verify.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/blas.hpp"
+
+namespace hpccsim::linalg {
+
+double scaled_residual(const Matrix& a, std::span<const double> x,
+                       std::span<const double> b) {
+  HPCCSIM_EXPECTS(a.rows() == a.cols());
+  HPCCSIM_EXPECTS(static_cast<Index>(x.size()) == a.cols());
+  HPCCSIM_EXPECTS(static_cast<Index>(b.size()) == a.rows());
+  const std::vector<double> ax = matvec(a, x);
+  double rinf = 0.0, xinf = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    rinf = std::max(rinf, std::fabs(b[i] - ax[i]));
+  for (double v : x) xinf = std::max(xinf, std::fabs(v));
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double denom = a.norm_one() * xinf *
+                       static_cast<double>(a.rows()) * eps;
+  return denom == 0.0 ? 0.0 : rinf / denom;
+}
+
+double max_abs_diff(std::span<const double> x, std::span<const double> y) {
+  HPCCSIM_EXPECTS(x.size() == y.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    m = std::max(m, std::fabs(x[i] - y[i]));
+  return m;
+}
+
+double relative_diff(const Matrix& a, const Matrix& b) {
+  HPCCSIM_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  double num = 0.0, den = 0.0;
+  const auto da = a.data(), db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    num += (da[i] - db[i]) * (da[i] - db[i]);
+    den += db[i] * db[i];
+  }
+  return den == 0.0 ? std::sqrt(num) : std::sqrt(num / den);
+}
+
+double lu_solve_flops(double n) { return 2.0 / 3.0 * n * n * n + 2.0 * n * n; }
+
+}  // namespace hpccsim::linalg

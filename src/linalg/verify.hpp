@@ -1,0 +1,26 @@
+// Residual verification, following the LINPACK / HPL acceptance test:
+// a solve "passes" when the scaled residual is O(1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hpccsim::linalg {
+
+/// ‖b - A x‖∞ / (‖A‖₁ · ‖x‖∞ · n · eps) — the HPL residual. Values of a
+/// few units indicate a correct solve; thousands indicate a bug.
+double scaled_residual(const Matrix& a, std::span<const double> x,
+                       std::span<const double> b);
+
+/// ‖x - y‖∞.
+double max_abs_diff(std::span<const double> x, std::span<const double> y);
+
+/// Frobenius-norm relative difference between two matrices.
+double relative_diff(const Matrix& a, const Matrix& b);
+
+/// Flop count of an n x n LU solve, as LINPACK reports it.
+double lu_solve_flops(double n);
+
+}  // namespace hpccsim::linalg

@@ -1,0 +1,64 @@
+// Analytical wormhole-mesh contention model.
+//
+// Wormhole routing pipelines a message across its whole XY route: once the
+// header reserves the path, all links on it stream the body concurrently,
+// so a message occupies every route link for one serialization time. The
+// model keeps a `free_at` horizon per unidirectional link:
+//
+//   start   = max(depart, max over route links of free_at)
+//   arrival = start + hops * per_hop_latency + bytes / channel_bw
+//   free_at[l] = start + bytes / channel_bw          (for each route link)
+//
+// This captures the first-order contention behaviour (blocking on busy
+// links, serialization at channel bandwidth) at O(hops) cost per message;
+// bench/ablate_contention quantifies its agreement with the flit-level
+// simulator in src/mesh/flit.hpp.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/time.hpp"
+#include "mesh/netmodel.hpp"
+#include "mesh/topology.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace hpccsim::mesh {
+
+struct AnalyticalParams {
+  /// Router pipeline delay per hop (header flit latency).
+  sim::Time per_hop_latency = sim::Time::ns(50);
+  /// Channel bandwidth of each unidirectional mesh link.
+  BytesPerSecond channel_bw = mb_per_s(25.0);
+  /// Injection/ejection channel latency (node <-> router).
+  sim::Time nic_latency = sim::Time::ns(100);
+};
+
+class AnalyticalMeshNet final : public NetworkModel {
+ public:
+  AnalyticalMeshNet(Mesh2D mesh, AnalyticalParams params);
+
+  sim::Time transfer(NodeId src, NodeId dst, Bytes bytes,
+                     sim::Time depart) override;
+
+  std::int32_t node_count() const override { return mesh_.node_count(); }
+  const Mesh2D& mesh() const { return mesh_; }
+  const AnalyticalParams& params() const { return params_; }
+
+  /// Total messages routed and cumulative queueing (contention) delay.
+  std::uint64_t messages_routed() const { return messages_; }
+  const RunningStat& contention_delay_us() const { return contention_us_; }
+
+  /// Drop all link state (start a fresh experiment on the same object).
+  void reset();
+
+ private:
+  Mesh2D mesh_;
+  AnalyticalParams params_;
+  std::vector<sim::Time> link_free_at_;
+  std::uint64_t messages_ = 0;
+  RunningStat contention_us_;
+};
+
+}  // namespace hpccsim::mesh

@@ -1,0 +1,256 @@
+#include "mesh/flit.hpp"
+
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+namespace hpccsim::mesh {
+
+FlitNetwork::FlitNetwork(Mesh2D mesh, FlitParams params)
+    : mesh_(mesh),
+      params_(params),
+      routers_(static_cast<std::size_t>(mesh.node_count())),
+      inject_(static_cast<std::size_t>(mesh.node_count())) {
+  HPCCSIM_EXPECTS(params.flit_bytes > 0);
+  HPCCSIM_EXPECTS(params.input_buffer_flits >= 2);
+}
+
+std::size_t FlitNetwork::inject(NodeId src, NodeId dst, Bytes bytes,
+                                std::uint64_t inject_cycle) {
+  HPCCSIM_EXPECTS(src >= 0 && src < mesh_.node_count());
+  HPCCSIM_EXPECTS(dst >= 0 && dst < mesh_.node_count());
+  HPCCSIM_EXPECTS(src != dst);
+  HPCCSIM_EXPECTS(bytes > 0);
+  messages_.push_back(FlitMessage{src, dst, bytes, inject_cycle, 0, false});
+  inject_[static_cast<std::size_t>(src)].pending.push_back(
+      static_cast<std::int32_t>(messages_.size() - 1));
+  ++undelivered_;
+  return messages_.size() - 1;
+}
+
+std::int64_t FlitNetwork::flits_of(std::int32_t msg) const {
+  const Bytes b = messages_[static_cast<std::size_t>(msg)].bytes;
+  return static_cast<std::int64_t>((b + params_.flit_bytes - 1) /
+                                   params_.flit_bytes);
+}
+
+const char* route_algo_name(RouteAlgo a) {
+  switch (a) {
+    case RouteAlgo::XY: return "xy";
+    case RouteAlgo::WestFirst: return "west-first";
+  }
+  return "?";
+}
+
+void FlitNetwork::route_candidates(NodeId node, NodeId dst, int out[3],
+                                   int& count) const {
+  count = 0;
+  if (node == dst) {
+    out[count++] = kLocal;
+    return;
+  }
+  const Coord c = mesh_.coord_of(node), to = mesh_.coord_of(dst);
+  if (params_.routing == RouteAlgo::XY) {
+    if (c.x != to.x)
+      out[count++] = static_cast<int>(c.x < to.x ? Dir::East : Dir::West);
+    else
+      out[count++] = static_cast<int>(c.y < to.y ? Dir::South : Dir::North);
+    return;
+  }
+  // West-first: every west hop precedes any other turn (deadlock-free
+  // per the turn model); once dx >= 0, adapt among the productive
+  // directions.
+  if (c.x > to.x) {
+    out[count++] = static_cast<int>(Dir::West);
+    return;
+  }
+  if (c.x < to.x) out[count++] = static_cast<int>(Dir::East);
+  if (c.y < to.y) out[count++] = static_cast<int>(Dir::South);
+  else if (c.y > to.y) out[count++] = static_cast<int>(Dir::North);
+  HPCCSIM_ASSERT(count >= 1);
+}
+
+NodeId FlitNetwork::downstream_node(NodeId node, int out_port) const {
+  HPCCSIM_ASSERT(out_port != kLocal);
+  return mesh_.neighbour(node, static_cast<Dir>(out_port));
+}
+
+int FlitNetwork::downstream_in_port(int out_port) const {
+  // A flit leaving east arrives on the neighbour's west input, etc.
+  switch (static_cast<Dir>(out_port)) {
+    case Dir::East: return static_cast<int>(Dir::West);
+    case Dir::West: return static_cast<int>(Dir::East);
+    case Dir::North: return static_cast<int>(Dir::South);
+    case Dir::South: return static_cast<int>(Dir::North);
+  }
+  HPCCSIM_ASSERT(false);
+  return -1;
+}
+
+bool FlitNetwork::step() {
+  bool moved = false;
+
+  // Staged flit arrivals, applied at end of cycle so a flit advances at
+  // most one hop per cycle. staged_count[node][port] reserves space.
+  struct Staged {
+    NodeId node;
+    int port;
+    Flit flit;
+  };
+  std::vector<Staged> staged;
+  std::vector<std::array<std::int32_t, kPorts>> staged_count(
+      routers_.size(), std::array<std::int32_t, kPorts>{});
+
+  auto space_in = [&](NodeId node, int in_port) {
+    const auto& fifo =
+        routers_[static_cast<std::size_t>(node)].in[static_cast<std::size_t>(
+            in_port)].fifo;
+    return static_cast<std::int32_t>(fifo.size()) +
+               staged_count[static_cast<std::size_t>(node)]
+                           [static_cast<std::size_t>(in_port)] <
+           params_.input_buffer_flits;
+  };
+
+  // Phase 1: injection — one flit per node per cycle into the local
+  // input port, in node-id order.
+  for (NodeId n = 0; n < mesh_.node_count(); ++n) {
+    auto& st = inject_[static_cast<std::size_t>(n)];
+    if (st.pending.empty()) continue;
+    const std::int32_t m = st.pending.front();
+    if (messages_[static_cast<std::size_t>(m)].inject_cycle > cycle_)
+      continue;
+    if (!space_in(n, kLocal)) continue;
+    const std::int64_t total = flits_of(m);
+    Flit f;
+    f.msg = m;
+    f.head = st.flits_sent == 0;
+    f.tail = st.flits_sent == total - 1;
+    f.dst = messages_[static_cast<std::size_t>(m)].dst;
+    staged.push_back({n, kLocal, f});
+    ++staged_count[static_cast<std::size_t>(n)][kLocal];
+    ++in_flight_flits_;
+    moved = true;
+    if (++st.flits_sent == total) {
+      st.pending.pop_front();
+      st.flits_sent = 0;
+    }
+  }
+
+  // Phase 2: switch allocation + traversal, router by router in id
+  // order.
+  for (NodeId n = 0; n < mesh_.node_count(); ++n) {
+    Router& r = routers_[static_cast<std::size_t>(n)];
+
+    // Allocation: each ungranted head flit claims its best free
+    // candidate output — for adaptive routing, the one with the most
+    // downstream buffer space (ties: route-preference order).
+    for (int ip = 0; ip < kPorts; ++ip) {
+      const auto& fifo = r.in[static_cast<std::size_t>(ip)].fifo;
+      if (fifo.empty() || !fifo.front().head) continue;
+      bool granted = false;
+      for (int op2 = 0; op2 < kPorts; ++op2)
+        granted = granted || r.out[static_cast<std::size_t>(op2)].owner == ip;
+      if (granted) continue;
+      int cands[3];
+      int nc = 0;
+      route_candidates(n, fifo.front().dst, cands, nc);
+      int best = -1;
+      std::int32_t best_space = -1;
+      for (int k = 0; k < nc; ++k) {
+        const int op2 = cands[k];
+        if (r.out[static_cast<std::size_t>(op2)].owner >= 0) continue;
+        std::int32_t space;
+        if (op2 == kLocal) {
+          space = std::numeric_limits<std::int32_t>::max();
+        } else {
+          const NodeId next = downstream_node(n, op2);
+          const int nip = downstream_in_port(op2);
+          const auto& dfifo = routers_[static_cast<std::size_t>(next)]
+                                  .in[static_cast<std::size_t>(nip)].fifo;
+          space = params_.input_buffer_flits -
+                  static_cast<std::int32_t>(dfifo.size()) -
+                  staged_count[static_cast<std::size_t>(next)]
+                              [static_cast<std::size_t>(nip)];
+        }
+        if (space > best_space) {
+          best_space = space;
+          best = op2;
+        }
+      }
+      if (best >= 0) r.out[static_cast<std::size_t>(best)].owner = ip;
+    }
+
+    // Traversal: one flit per owned output port.
+    for (int op = 0; op < kPorts; ++op) {
+      OutputPort& out = r.out[static_cast<std::size_t>(op)];
+      if (out.owner < 0) continue;
+
+      // Traversal: move one flit of the owning message.
+      auto& fifo = r.in[static_cast<std::size_t>(out.owner)].fifo;
+      if (fifo.empty()) continue;
+      const Flit f = fifo.front();
+
+      if (op == kLocal) {
+        // Ejection: always accepted.
+        fifo.pop_front();
+        --in_flight_flits_;
+        moved = true;
+        if (f.tail) {
+          auto& msg = messages_[static_cast<std::size_t>(f.msg)];
+          HPCCSIM_ASSERT(!msg.delivered);
+          // Charge router pipeline depth once per hop of the route.
+          msg.delivered_cycle =
+              cycle_ + 1 +
+              static_cast<std::uint64_t>(params_.pipeline_cycles) *
+                  static_cast<std::uint64_t>(
+                      mesh_.distance(msg.src, msg.dst));
+          msg.delivered = true;
+          --undelivered_;
+          out.owner = -1;
+        }
+      } else {
+        const NodeId next = downstream_node(n, op);
+        HPCCSIM_ASSERT(next >= 0);
+        const int nip = downstream_in_port(op);
+        if (!space_in(next, nip)) continue;  // credit stall
+        fifo.pop_front();
+        staged.push_back({next, nip, f});
+        ++staged_count[static_cast<std::size_t>(next)]
+                      [static_cast<std::size_t>(nip)];
+        moved = true;
+        if (f.tail) out.owner = -1;
+      }
+    }
+  }
+
+  // Phase 3: arrivals become visible next cycle.
+  for (auto& s : staged)
+    routers_[static_cast<std::size_t>(s.node)]
+        .in[static_cast<std::size_t>(s.port)]
+        .fifo.push_back(s.flit);
+
+  ++cycle_;
+  return moved;
+}
+
+void FlitNetwork::run(std::uint64_t max_cycles) {
+  while (undelivered_ > 0) {
+    if (cycle_ >= max_cycles)
+      throw std::runtime_error("FlitNetwork::run exceeded max_cycles");
+    step();
+  }
+}
+
+sim::Time FlitNetwork::cycle_time() const {
+  return sim::Time::sec(static_cast<double>(params_.flit_bytes) /
+                        params_.channel_bw.bytes_per_sec());
+}
+
+std::uint64_t FlitNetwork::latency_cycles(std::size_t i) const {
+  HPCCSIM_EXPECTS(i < messages_.size());
+  const auto& m = messages_[i];
+  HPCCSIM_EXPECTS(m.delivered);
+  return m.delivered_cycle - m.inject_cycle;
+}
+
+}  // namespace hpccsim::mesh

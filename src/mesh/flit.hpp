@@ -1,0 +1,143 @@
+// Cycle-approximate flit-level wormhole router network.
+//
+// This is the reference model the cheap analytical model is validated
+// against (bench/ablate_contention). It simulates input-buffered wormhole
+// routers at flit granularity:
+//
+//   - messages are split into flits (header carries the route);
+//   - each router has 5 input ports (E/W/N/S/Injection), each a bounded
+//     FIFO, and 5 output ports (E/W/N/S/Ejection);
+//   - an output port is owned by one input port from header to tail
+//     (wormhole channel reservation), other messages block behind it;
+//   - one flit crosses each link per cycle, subject to downstream buffer
+//     space (credit flow control);
+//   - routing is XY dimension-order (deterministic) or west-first
+//     turn-model adaptive; both are minimal and deadlock-free.
+//
+// The simulation is deterministic: routers are stepped in id order,
+// input ports in index order, and adaptive choices break ties by
+// route-preference order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/time.hpp"
+#include "mesh/topology.hpp"
+#include "util/units.hpp"
+
+namespace hpccsim::mesh {
+
+/// Routing algorithm for the flit network.
+enum class RouteAlgo {
+  XY,         ///< dimension order: deterministic, deadlock-free
+  WestFirst,  ///< turn-model partially-adaptive (Glass & Ni): all west
+              ///< hops first, then adapt among E/N/S by buffer space
+};
+
+const char* route_algo_name(RouteAlgo a);
+
+struct FlitParams {
+  Bytes flit_bytes = 16;
+  std::int32_t input_buffer_flits = 8;
+  /// Channel bandwidth, used only to convert cycles to wall time.
+  BytesPerSecond channel_bw = mb_per_s(25.0);
+  /// Extra fixed cycles charged per hop for router pipeline depth.
+  std::int32_t pipeline_cycles = 2;
+  RouteAlgo routing = RouteAlgo::XY;
+};
+
+struct FlitMessage {
+  NodeId src = 0;
+  NodeId dst = 0;
+  Bytes bytes = 0;
+  std::uint64_t inject_cycle = 0;
+
+  // Filled in by the simulator.
+  std::uint64_t delivered_cycle = 0;
+  bool delivered = false;
+};
+
+class FlitNetwork {
+ public:
+  FlitNetwork(Mesh2D mesh, FlitParams params);
+
+  /// Queue a message for injection at its source from `inject_cycle` on.
+  /// Returns the message index.
+  std::size_t inject(NodeId src, NodeId dst, Bytes bytes,
+                     std::uint64_t inject_cycle);
+
+  /// Run until all injected messages are delivered (or `max_cycles` hits,
+  /// which throws — the network is deadlock-free, so that is a bug).
+  void run(std::uint64_t max_cycles = 50'000'000);
+
+  /// Advance exactly one cycle; returns true if any flit moved.
+  bool step();
+
+  std::uint64_t cycle() const { return cycle_; }
+  const std::vector<FlitMessage>& messages() const { return messages_; }
+
+  /// Wall-clock duration of one cycle (flit serialization time).
+  sim::Time cycle_time() const;
+
+  /// Latency of message i in cycles (inject -> tail ejected).
+  std::uint64_t latency_cycles(std::size_t i) const;
+
+  const Mesh2D& mesh() const { return mesh_; }
+
+ private:
+  // Port numbering: 0..3 = Dir, 4 = local (injection on input side,
+  // ejection on output side).
+  static constexpr int kLocal = 4;
+  static constexpr int kPorts = 5;
+
+  struct Flit {
+    std::int32_t msg = -1;
+    bool head = false;
+    bool tail = false;
+    NodeId dst = -1;
+  };
+
+  struct InputPort {
+    std::deque<Flit> fifo;
+  };
+
+  struct OutputPort {
+    int owner = -1;  // input port index that holds the channel
+  };
+
+  struct Router {
+    std::vector<InputPort> in = std::vector<InputPort>(kPorts);
+    std::vector<OutputPort> out = std::vector<OutputPort>(kPorts);
+  };
+
+  // Route computation: candidate output ports for a flit at `node`
+  // heading to `dst`, in preference order (all minimal). XY returns one
+  // candidate; WestFirst may return several for the adaptive phase.
+  // kLocal (alone) when node == dst.
+  void route_candidates(NodeId node, NodeId dst, int out[3], int& count) const;
+  // Is there space in the input buffer the output port feeds?
+  bool downstream_has_space(NodeId node, int out_port) const;
+  NodeId downstream_node(NodeId node, int out_port) const;
+  int downstream_in_port(int out_port) const;
+
+  Mesh2D mesh_;
+  FlitParams params_;
+  std::vector<Router> routers_;
+  std::vector<FlitMessage> messages_;
+  // Per-source queue of (message index) not yet fully injected and the
+  // number of flits of the current message already injected.
+  struct InjectState {
+    std::deque<std::int32_t> pending;
+    std::int64_t flits_sent = 0;
+  };
+  std::vector<InjectState> inject_;
+  std::int64_t flits_of(std::int32_t msg) const;
+  std::uint64_t cycle_ = 0;
+  std::int64_t in_flight_flits_ = 0;
+  std::int64_t undelivered_ = 0;
+};
+
+}  // namespace hpccsim::mesh

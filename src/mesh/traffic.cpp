@@ -1,0 +1,113 @@
+#include "mesh/traffic.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace hpccsim::mesh {
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::UniformRandom: return "uniform";
+    case Pattern::Transpose: return "transpose";
+    case Pattern::BitReversal: return "bitrev";
+    case Pattern::HotSpot: return "hotspot";
+    case Pattern::NearestNeighbour: return "neighbour";
+  }
+  return "?";
+}
+
+Pattern parse_pattern(const std::string& name) {
+  if (name == "uniform") return Pattern::UniformRandom;
+  if (name == "transpose") return Pattern::Transpose;
+  if (name == "bitrev") return Pattern::BitReversal;
+  if (name == "hotspot") return Pattern::HotSpot;
+  if (name == "neighbour") return Pattern::NearestNeighbour;
+  throw std::invalid_argument("unknown traffic pattern: " + name);
+}
+
+namespace {
+
+NodeId transpose_dst(const Mesh2D& mesh, NodeId src) {
+  const Coord c = mesh.coord_of(src);
+  // Swap coordinates, clamped into the mesh for non-square shapes.
+  const Coord t{std::min(c.y, mesh.width() - 1),
+                std::min(c.x, mesh.height() - 1)};
+  return mesh.id_of(t);
+}
+
+NodeId bitrev_dst(const Mesh2D& mesh, NodeId src) {
+  const auto n = static_cast<std::uint32_t>(mesh.node_count());
+  const int bits = std::bit_width(n - 1);
+  std::uint32_t v = static_cast<std::uint32_t>(src), r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | (v & 1u);
+    v >>= 1;
+  }
+  return static_cast<NodeId>(r % n);
+}
+
+}  // namespace
+
+std::vector<TrafficRecord> generate_traffic(const Mesh2D& mesh,
+                                            const TrafficConfig& cfg) {
+  HPCCSIM_EXPECTS(cfg.messages_per_node > 0);
+  HPCCSIM_EXPECTS(cfg.message_bytes > 0);
+  HPCCSIM_EXPECTS(cfg.hotspot_fraction >= 0.0 && cfg.hotspot_fraction <= 1.0);
+
+  Rng rng(cfg.seed);
+  const NodeId hot = mesh.node_count() / 2;
+  std::vector<TrafficRecord> out;
+  out.reserve(static_cast<std::size_t>(mesh.node_count()) *
+              static_cast<std::size_t>(cfg.messages_per_node));
+
+  for (NodeId src = 0; src < mesh.node_count(); ++src) {
+    Rng node_rng = rng.split();
+    double t_us = 0.0;
+    for (std::int32_t i = 0; i < cfg.messages_per_node; ++i) {
+      t_us += node_rng.exponential(1.0 / cfg.mean_gap.as_us());
+      NodeId dst = src;
+      switch (cfg.pattern) {
+        case Pattern::UniformRandom:
+          do {
+            dst = static_cast<NodeId>(node_rng.below(
+                static_cast<std::uint64_t>(mesh.node_count())));
+          } while (dst == src);
+          break;
+        case Pattern::Transpose:
+          dst = transpose_dst(mesh, src);
+          break;
+        case Pattern::BitReversal:
+          dst = bitrev_dst(mesh, src);
+          break;
+        case Pattern::HotSpot:
+          if (node_rng.uniform() < cfg.hotspot_fraction && src != hot) {
+            dst = hot;
+          } else {
+            do {
+              dst = static_cast<NodeId>(node_rng.below(
+                  static_cast<std::uint64_t>(mesh.node_count())));
+            } while (dst == src);
+          }
+          break;
+        case Pattern::NearestNeighbour: {
+          const Coord c = mesh.coord_of(src);
+          dst = mesh.id_of(Coord{(c.x + 1) % mesh.width(), c.y});
+          break;
+        }
+      }
+      if (dst == src) continue;  // transpose/bitrev fixed points
+      out.push_back(TrafficRecord{src, dst, cfg.message_bytes,
+                                  sim::Time::us(t_us)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TrafficRecord& a, const TrafficRecord& b) {
+              if (a.depart != b.depart) return a.depart < b.depart;
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  return out;
+}
+
+}  // namespace hpccsim::mesh

@@ -1,0 +1,54 @@
+// Synthetic traffic patterns for interconnect experiments.
+//
+// These are the classic patterns of the mesh-network literature: uniform
+// random, matrix transpose, bit reversal, hot spot, and nearest
+// neighbour. A pattern produces a deterministic trace of (src, dst,
+// bytes, departure) records that can be fed to either contention model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "mesh/topology.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace hpccsim::mesh {
+
+struct TrafficRecord {
+  NodeId src = 0;
+  NodeId dst = 0;
+  Bytes bytes = 0;
+  sim::Time depart;
+};
+
+enum class Pattern {
+  UniformRandom,   ///< dst uniform over all other nodes
+  Transpose,       ///< (x,y) -> (y,x); stresses the bisection
+  BitReversal,     ///< id -> reverse of its bit string
+  HotSpot,         ///< a fraction of traffic targets one node
+  NearestNeighbour ///< dst = +x neighbour (wraps at the edge row-wise)
+};
+
+const char* pattern_name(Pattern p);
+Pattern parse_pattern(const std::string& name);
+
+struct TrafficConfig {
+  Pattern pattern = Pattern::UniformRandom;
+  /// Messages generated per node.
+  std::int32_t messages_per_node = 10;
+  Bytes message_bytes = 1024;
+  /// Mean inter-departure gap per node; offered load knob.
+  sim::Time mean_gap = sim::Time::us(100);
+  /// HotSpot only: probability a message targets the hot node.
+  double hotspot_fraction = 0.2;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a deterministic trace, sorted by departure time.
+std::vector<TrafficRecord> generate_traffic(const Mesh2D& mesh,
+                                            const TrafficConfig& cfg);
+
+}  // namespace hpccsim::mesh

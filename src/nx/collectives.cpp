@@ -1,0 +1,407 @@
+#include "nx/collectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hpccsim::nx {
+
+namespace {
+// Collective tags live far above any user tag.
+constexpr int kCollectiveTagBase = 1 << 20;
+constexpr int kSeqSpan = 8192;
+
+int collective_tag(NxContext& ctx, const Group& g) {
+  const int seq = ctx.next_collective_seq(g.tag_space());
+  return kCollectiveTagBase + g.tag_space() * kSeqSpan + (seq % kSeqSpan);
+}
+}  // namespace
+
+Group::Group(std::vector<int> ranks, int tag_space)
+    : ranks_(std::move(ranks)), tag_space_(tag_space) {
+  HPCCSIM_EXPECTS(!ranks_.empty());
+  HPCCSIM_EXPECTS(tag_space >= 0);
+}
+
+Group Group::world(const NxContext& ctx) {
+  std::vector<int> ranks(static_cast<std::size_t>(ctx.nodes()));
+  for (int i = 0; i < ctx.nodes(); ++i) ranks[static_cast<std::size_t>(i)] = i;
+  return Group(std::move(ranks), /*tag_space=*/0);
+}
+
+int Group::index_of_or(int global_rank) const {
+  for (std::size_t i = 0; i < ranks_.size(); ++i)
+    if (ranks_[i] == global_rank) return static_cast<int>(i);
+  return -1;
+}
+
+int Group::index_of(int global_rank) const {
+  const int i = index_of_or(global_rank);
+  HPCCSIM_EXPECTS(i >= 0);
+  return i;
+}
+
+const char* algo_name(CollectiveAlgo a) {
+  switch (a) {
+    case CollectiveAlgo::Binomial: return "binomial";
+    case CollectiveAlgo::Ring: return "ring";
+    case CollectiveAlgo::RecursiveDoubling: return "recursive-doubling";
+    case CollectiveAlgo::Flat: return "flat";
+  }
+  return "?";
+}
+
+Payload combine(ReduceOp op, const Payload& a, const Payload& b) {
+  if (!a || !b) return {};  // modeled mode: shapes only
+  HPCCSIM_EXPECTS(a->size() == b->size());
+  std::vector<double> out(a->size());
+  switch (op) {
+    case ReduceOp::Sum:
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] = (*a)[i] + (*b)[i];
+      break;
+    case ReduceOp::Max:
+      for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = std::max((*a)[i], (*b)[i]);
+      break;
+    case ReduceOp::Min:
+      for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = std::min((*a)[i], (*b)[i]);
+      break;
+    case ReduceOp::MaxAbsLoc: {
+      HPCCSIM_EXPECTS(out.size() % 2 == 0);
+      for (std::size_t i = 0; i < out.size(); i += 2) {
+        const double va = std::fabs((*a)[i]), vb = std::fabs((*b)[i]);
+        // Ties resolve to the smaller index for determinism.
+        const bool pick_a = va > vb || (va == vb && (*a)[i + 1] <= (*b)[i + 1]);
+        out[i] = pick_a ? (*a)[i] : (*b)[i];
+        out[i + 1] = pick_a ? (*a)[i + 1] : (*b)[i + 1];
+      }
+      break;
+    }
+  }
+  return make_payload(std::move(out));
+}
+
+// ----------------------------------------------------------- broadcast --
+
+namespace {
+
+sim::Task<Message> bcast_binomial(NxContext& ctx, const Group& g, int root,
+                                  Bytes bytes, Payload data, int tag) {
+  // MPICH-style binomial tree on relative indices: scan masks upward to
+  // find the parent (lowest set bit of rel), receive once, then forward
+  // to children at decreasing masks.
+  const int size = g.size();
+  const int root_idx = g.index_of(root);
+  const int rel = (g.index_of(ctx.rank()) - root_idx + size) % size;
+  auto abs_rank = [&](int r) { return g.rank_at((r + root_idx) % size); };
+
+  Message result{root, tag, bytes, std::move(data)};
+  int mask = 1;
+  while (mask < size) {
+    if (rel & mask) {
+      result = co_await ctx.recv(abs_rank(rel - mask), tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < size)
+      co_await ctx.send(abs_rank(rel + mask), tag, bytes, result.payload);
+    mask >>= 1;
+  }
+  co_return result;
+}
+
+sim::Task<Message> bcast_ring(NxContext& ctx, const Group& g, int root,
+                              Bytes bytes, Payload data, int tag) {
+  const int size = g.size();
+  const int me = g.index_of(ctx.rank());
+  const int rel = (me - g.index_of(root) + size) % size;
+  Message result{root, tag, bytes, std::move(data)};
+  if (rel != 0) result = co_await ctx.recv(kAnySource, tag);
+  if (rel + 1 < size) {
+    const int next = g.rank_at((me + 1) % size);
+    co_await ctx.send(next, tag, bytes, result.payload);
+  }
+  co_return result;
+}
+
+sim::Task<Message> bcast_flat(NxContext& ctx, const Group& g, int root,
+                              Bytes bytes, Payload data, int tag) {
+  Message result{root, tag, bytes, std::move(data)};
+  if (ctx.rank() == root) {
+    for (int i = 0; i < g.size(); ++i) {
+      const int dst = g.rank_at(i);
+      if (dst != root) co_await ctx.send(dst, tag, bytes, result.payload);
+    }
+  } else {
+    result = co_await ctx.recv(root, tag);
+  }
+  co_return result;
+}
+
+}  // namespace
+
+sim::Task<Message> bcast(NxContext& ctx, const Group& g, int root,
+                         Bytes bytes, Payload data, CollectiveAlgo algo) {
+  HPCCSIM_EXPECTS(g.contains(ctx.rank()));
+  HPCCSIM_EXPECTS(g.contains(root));
+  const int tag = collective_tag(ctx, g);
+  if (g.size() == 1) co_return Message{root, tag, bytes, std::move(data)};
+  switch (algo) {
+    case CollectiveAlgo::Ring:
+      co_return co_await bcast_ring(ctx, g, root, bytes, std::move(data), tag);
+    case CollectiveAlgo::Flat:
+      co_return co_await bcast_flat(ctx, g, root, bytes, std::move(data), tag);
+    case CollectiveAlgo::Binomial:
+    case CollectiveAlgo::RecursiveDoubling:
+      co_return co_await bcast_binomial(ctx, g, root, bytes, std::move(data),
+                                        tag);
+  }
+  HPCCSIM_ASSERT(false);
+}
+
+// -------------------------------------------------------------- reduce --
+
+sim::Task<Message> reduce(NxContext& ctx, const Group& g, int root,
+                          ReduceOp op, Bytes bytes, Payload contribution) {
+  HPCCSIM_EXPECTS(g.contains(ctx.rank()));
+  HPCCSIM_EXPECTS(g.contains(root));
+  const int tag = collective_tag(ctx, g);
+  const int size = g.size();
+  const int root_idx = g.index_of(root);
+  const int rel = (g.index_of(ctx.rank()) - root_idx + size) % size;
+  auto abs_rank = [&](int r) { return g.rank_at((r + root_idx) % size); };
+
+  Payload acc = std::move(contribution);
+  for (int mask = 1; mask < size; mask <<= 1) {
+    if (rel & mask) {
+      // Send accumulated value to the parent and leave.
+      co_await ctx.send(abs_rank(rel - mask), tag, bytes, acc);
+      co_return Message{ctx.rank(), tag, 0, {}};
+    }
+    if (rel + mask < size) {
+      // Receive from the specific child at this mask level so the
+      // combine order (and therefore rounding) is identical every run.
+      Message m = co_await ctx.recv(abs_rank(rel + mask), tag);
+      // Child has the higher relative index: combine(low, high).
+      acc = combine(op, acc, m.payload);
+    }
+  }
+  co_return Message{ctx.rank(), tag, bytes, std::move(acc)};
+}
+
+sim::Task<Message> allreduce(NxContext& ctx, const Group& g, ReduceOp op,
+                             Bytes bytes, Payload contribution,
+                             CollectiveAlgo algo) {
+  HPCCSIM_EXPECTS(g.contains(ctx.rank()));
+  const int root = g.rank_at(0);
+  const int size = g.size();
+  if (size == 1)
+    co_return Message{ctx.rank(), 0, bytes, std::move(contribution)};
+
+  if (algo == CollectiveAlgo::RecursiveDoubling) {
+    // Power-of-two portion only; stragglers fold in via the root.
+    // For simplicity (and because all grids here are powers of two or
+    // handled fine by reduce+bcast), fall back when size is not 2^k.
+    if ((size & (size - 1)) == 0) {
+      const int tag = collective_tag(ctx, g);
+      const int me = g.index_of(ctx.rank());
+      Payload acc = std::move(contribution);
+      for (int mask = 1; mask < size; mask <<= 1) {
+        const int partner = g.rank_at(me ^ mask);
+        co_await ctx.send(partner, tag, bytes, acc);
+        Message m = co_await ctx.recv(partner, tag);
+        // Canonical order: lower index's data first.
+        acc = (me < (me ^ mask)) ? combine(op, acc, m.payload)
+                                 : combine(op, m.payload, acc);
+      }
+      co_return Message{ctx.rank(), tag, bytes, std::move(acc)};
+    }
+  }
+  if (algo == CollectiveAlgo::Ring) {
+    // Unsegmented ring: accumulate around the ring, then broadcast back.
+    const int tag = collective_tag(ctx, g);
+    const int me = g.index_of(ctx.rank());
+    Payload acc = std::move(contribution);
+    if (me != 0) {
+      Message m = co_await ctx.recv(g.rank_at(me - 1), tag);
+      acc = combine(op, m.payload, acc);
+    }
+    if (me + 1 < size) {
+      co_await ctx.send(g.rank_at(me + 1), tag, bytes, acc);
+      // Wait for the final value to come back around.
+      Message fin = co_await ctx.recv(kAnySource, tag + 0);
+      acc = fin.payload;
+      if (me != 0) co_await ctx.send(g.rank_at(me - 1), tag, bytes, acc);
+    } else {
+      // Last node holds the total; send it back down the chain.
+      co_await ctx.send(g.rank_at(me - 1), tag, bytes, acc);
+    }
+    co_return Message{ctx.rank(), tag, bytes, std::move(acc)};
+  }
+
+  // Default: binomial reduce to rank_at(0), then binomial bcast.
+  Message red = co_await reduce(ctx, g, root, op, bytes, std::move(contribution));
+  // Hoisted out of the co_await expression: GCC 12 double-destroys a ?:
+  // temporary materialized inside a co_await'ed call (wrong-code bug),
+  // which would free the payload while the network still references it.
+  Payload to_send;
+  if (ctx.rank() == root) to_send = red.payload;
+  Message out = co_await bcast(ctx, g, root, bytes, std::move(to_send));
+  co_return out;
+}
+
+// ------------------------------------------------------------- barrier --
+
+sim::Task<> barrier(NxContext& ctx, const Group& g) {
+  // Zero-byte allreduce: correctness only needs the synchronization.
+  co_await allreduce(ctx, g, ReduceOp::Sum, 0, {});
+}
+
+// ------------------------------------------------------ gather/scatter --
+
+sim::Task<std::vector<Message>> gather(NxContext& ctx, const Group& g,
+                                       int root, Bytes bytes,
+                                       Payload contribution) {
+  HPCCSIM_EXPECTS(g.contains(ctx.rank()));
+  const int tag = collective_tag(ctx, g);
+  std::vector<Message> out;
+  if (ctx.rank() == root) {
+    out.resize(static_cast<std::size_t>(g.size()));
+    out[static_cast<std::size_t>(g.index_of(root))] =
+        Message{root, tag, bytes, std::move(contribution)};
+    for (int i = 0; i < g.size() - 1; ++i) {
+      Message m = co_await ctx.recv(kAnySource, tag);
+      out[static_cast<std::size_t>(g.index_of(m.src))] = std::move(m);
+    }
+  } else {
+    co_await ctx.send(root, tag, bytes, std::move(contribution));
+  }
+  co_return out;
+}
+
+sim::Task<Message> scatter(NxContext& ctx, const Group& g, int root,
+                           Bytes bytes_each, std::vector<Payload> slices) {
+  HPCCSIM_EXPECTS(g.contains(ctx.rank()));
+  const int tag = collective_tag(ctx, g);
+  if (ctx.rank() == root) {
+    HPCCSIM_EXPECTS(slices.empty() ||
+                    static_cast<int>(slices.size()) == g.size());
+    Payload mine;
+    for (int i = 0; i < g.size(); ++i) {
+      Payload p = slices.empty() ? Payload{} : std::move(slices[static_cast<std::size_t>(i)]);
+      if (g.rank_at(i) == root) {
+        mine = std::move(p);
+      } else {
+        co_await ctx.send(g.rank_at(i), tag, bytes_each, std::move(p));
+      }
+    }
+    co_return Message{root, tag, bytes_each, std::move(mine)};
+  }
+  co_return co_await ctx.recv(root, tag);
+}
+
+sim::Task<std::vector<Message>> alltoall(NxContext& ctx, const Group& g,
+                                         Bytes bytes_each,
+                                         std::vector<Payload> slices) {
+  HPCCSIM_EXPECTS(g.contains(ctx.rank()));
+  HPCCSIM_EXPECTS(slices.empty() ||
+                  static_cast<int>(slices.size()) == g.size());
+  const int tag = collective_tag(ctx, g);
+  const int me = g.index_of(ctx.rank());
+  std::vector<Message> out(static_cast<std::size_t>(g.size()));
+
+  // Self-slice short-circuits; others exchange pairwise, staggered by
+  // index so traffic spreads over the mesh.
+  out[static_cast<std::size_t>(me)] = Message{
+      ctx.rank(), tag, bytes_each,
+      slices.empty() ? Payload{} : slices[static_cast<std::size_t>(me)]};
+  for (int step = 1; step < g.size(); ++step) {
+    const int dst_idx = (me + step) % g.size();
+    // Named local, not a ?: temporary in the co_await (GCC 12 bug; see
+    // allreduce above).
+    Payload slice;
+    if (!slices.empty()) slice = slices[static_cast<std::size_t>(dst_idx)];
+    co_await ctx.send(g.rank_at(dst_idx), tag, bytes_each, std::move(slice));
+  }
+  for (int step = 1; step < g.size(); ++step) {
+    Message m = co_await ctx.recv(kAnySource, tag);
+    out[static_cast<std::size_t>(g.index_of(m.src))] = std::move(m);
+  }
+  co_return out;
+}
+
+// -------------------------------------------- allgather/reduce-scatter --
+
+sim::Task<std::vector<Message>> allgather(NxContext& ctx, const Group& g,
+                                          Bytes bytes_each,
+                                          Payload contribution) {
+  HPCCSIM_EXPECTS(g.contains(ctx.rank()));
+  const int tag = collective_tag(ctx, g);
+  const int size = g.size();
+  const int me = g.index_of(ctx.rank());
+  std::vector<Message> out(static_cast<std::size_t>(size));
+  out[static_cast<std::size_t>(me)] =
+      Message{ctx.rank(), tag, bytes_each, std::move(contribution)};
+  if (size == 1) co_return out;
+
+  // Ring: at step s, pass slice (me - s) to the right; after P-1 steps
+  // everyone has everything, each link carrying (P-1) * bytes_each.
+  const int right = g.rank_at((me + 1) % size);
+  const int left_idx = (me - 1 + size) % size;
+  for (int s = 0; s < size - 1; ++s) {
+    const int send_idx = (me - s + size) % size;
+    // Hoisted payload (GCC 12 ?:-in-co_await rule).
+    Payload p = out[static_cast<std::size_t>(send_idx)].payload;
+    co_await ctx.send(right, tag, bytes_each, std::move(p));
+    Message m = co_await ctx.recv(g.rank_at(left_idx), tag);
+    const int got_idx = (me - s - 1 + size) % size;
+    m.src = g.rank_at(got_idx);  // logical origin of the slice
+    out[static_cast<std::size_t>(got_idx)] = std::move(m);
+  }
+  co_return out;
+}
+
+sim::Task<Message> reduce_scatter(NxContext& ctx, const Group& g,
+                                  ReduceOp op, Bytes bytes_total,
+                                  Payload contribution) {
+  HPCCSIM_EXPECTS(g.contains(ctx.rank()));
+  const int size = g.size();
+  HPCCSIM_EXPECTS(bytes_total % static_cast<Bytes>(size) == 0);
+  if (contribution)
+    HPCCSIM_EXPECTS(contribution->size() % static_cast<std::size_t>(size) ==
+                    0);
+  // Reduce to the group root, then scatter the segments. (A ring
+  // reduce-scatter is bandwidth-optimal; this tree version keeps the
+  // combine order identical to reduce() for bit-reproducibility.)
+  const int root = g.rank_at(0);
+  Message red =
+      co_await reduce(ctx, g, root, op, bytes_total, std::move(contribution));
+  std::vector<Payload> segments;
+  if (ctx.rank() == root && red.payload) {
+    const auto& full = *red.payload;
+    const std::size_t seg = full.size() / static_cast<std::size_t>(size);
+    for (int i = 0; i < size; ++i) {
+      std::vector<double> part(
+          full.begin() + static_cast<std::ptrdiff_t>(seg * i),
+          full.begin() + static_cast<std::ptrdiff_t>(seg * (i + 1)));
+      segments.push_back(make_payload(std::move(part)));
+    }
+  }
+  co_return co_await scatter(ctx, g, root,
+                             bytes_total / static_cast<Bytes>(size),
+                             std::move(segments));
+}
+
+sim::Task<Message> sendrecv(NxContext& ctx, int partner, int tag,
+                            Bytes bytes, Payload payload) {
+  // Buffered sends make send-then-recv deadlock-free on both sides.
+  co_await ctx.send(partner, tag, bytes, std::move(payload));
+  co_return co_await ctx.recv(partner, tag);
+}
+
+}  // namespace hpccsim::nx

@@ -1,0 +1,126 @@
+// Collective operations over groups of simulated nodes.
+//
+// These mirror the collective layer every Delta application carried on
+// top of NX point-to-point (and that MPI later standardized): barrier,
+// broadcast, reduce, allreduce, gather, scatter, alltoall.
+//
+// SPMD discipline: every member of a group must invoke the same
+// collectives in the same order (matching is by a per-group sequence
+// number folded into the tag). This is the same contract MPI imposes.
+//
+// Algorithms are selectable so bench/ablate_collectives can compare them:
+//   - Binomial: log2(P) tree. Default; bit-reproducible reductions
+//     (fixed combine order at every node).
+//   - Ring: P-1 step pipeline. Bandwidth-friendly for large payloads.
+//   - RecursiveDoubling: log2(P) exchange steps for allreduce; note the
+//     combine order differs per node, so floating-point results can
+//     differ in the last ulp between nodes (documented MPI reality).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/task.hpp"
+#include "nx/context.hpp"
+#include "nx/message.hpp"
+
+namespace hpccsim::nx {
+
+/// A communication group: an ordered list of global ranks. All members
+/// construct the group with the identical rank order and tag_space.
+class Group {
+ public:
+  Group(std::vector<int> ranks, int tag_space);
+
+  /// The whole machine, tag space 0.
+  static Group world(const NxContext& ctx);
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+  int rank_at(int index) const { return ranks_.at(index); }
+  int index_of(int global_rank) const;
+  bool contains(int global_rank) const { return index_of_or(global_rank) >= 0; }
+  int tag_space() const { return tag_space_; }
+
+ private:
+  int index_of_or(int global_rank) const;
+  std::vector<int> ranks_;
+  int tag_space_;
+};
+
+enum class ReduceOp {
+  Sum,
+  Max,
+  Min,
+  /// Payload is [value, index] pairs; keeps the element with the largest
+  /// |value| (ties -> smaller index). The LU pivot-search primitive.
+  MaxAbsLoc,
+};
+
+enum class CollectiveAlgo { Binomial, Ring, RecursiveDoubling, Flat };
+
+const char* algo_name(CollectiveAlgo a);
+
+/// All members wait until every member has entered.
+sim::Task<> barrier(NxContext& ctx, const Group& g);
+
+/// Root's payload (bytes, data) reaches every member. Non-roots pass
+/// bytes only (must equal root's). Returns the payload at every member.
+sim::Task<Message> bcast(NxContext& ctx, const Group& g, int root,
+                         Bytes bytes, Payload data = {},
+                         CollectiveAlgo algo = CollectiveAlgo::Binomial);
+
+/// Combine every member's contribution at the root. Non-root members
+/// receive an empty message. Payloads may be null (modeled mode): the
+/// schedule and byte counts are identical, the combine is skipped.
+sim::Task<Message> reduce(NxContext& ctx, const Group& g, int root,
+                          ReduceOp op, Bytes bytes, Payload contribution);
+
+/// reduce + bcast (Binomial) or a direct algorithm; every member gets
+/// the combined payload.
+sim::Task<Message> allreduce(NxContext& ctx, const Group& g, ReduceOp op,
+                             Bytes bytes, Payload contribution,
+                             CollectiveAlgo algo = CollectiveAlgo::Binomial);
+
+/// Root collects every member's payload, ordered by group index.
+/// Non-roots get an empty vector.
+sim::Task<std::vector<Message>> gather(NxContext& ctx, const Group& g,
+                                       int root, Bytes bytes,
+                                       Payload contribution);
+
+/// Root distributes per-member payloads (indexed by group index);
+/// everyone returns their slice.
+sim::Task<Message> scatter(NxContext& ctx, const Group& g, int root,
+                           Bytes bytes_each,
+                           std::vector<Payload> slices = {});
+
+/// Every member sends a (same-sized) slice to every other member.
+/// Returns the received slices ordered by group index.
+sim::Task<std::vector<Message>> alltoall(NxContext& ctx, const Group& g,
+                                         Bytes bytes_each,
+                                         std::vector<Payload> slices = {});
+
+/// Everyone contributes a slice; everyone receives all slices ordered by
+/// group index (ring algorithm: bandwidth-optimal, P-1 steps).
+sim::Task<std::vector<Message>> allgather(NxContext& ctx, const Group& g,
+                                          Bytes bytes_each,
+                                          Payload contribution = {});
+
+/// Combine everyone's equal-length contributions, then hand member i the
+/// i-th of `parts` equal segments of the result (reduce + scatter; the
+/// building block of ring allreduce). `bytes_total` is the full vector;
+/// every member receives bytes_total / g.size(). Payload sizes must be
+/// divisible by the group size.
+sim::Task<Message> reduce_scatter(NxContext& ctx, const Group& g,
+                                  ReduceOp op, Bytes bytes_total,
+                                  Payload contribution = {});
+
+/// Paired exchange with one partner (both sides call it): sends and
+/// receives without deadlock regardless of ordering.
+sim::Task<Message> sendrecv(NxContext& ctx, int partner, int tag,
+                            Bytes bytes, Payload payload = {});
+
+/// Deterministically combine two reduce contributions (exposed for
+/// tests). `a` must come from the lower group index.
+Payload combine(ReduceOp op, const Payload& a, const Payload& b);
+
+}  // namespace hpccsim::nx

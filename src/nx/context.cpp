@@ -1,0 +1,139 @@
+#include "nx/context.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "nx/machine_runtime.hpp"
+
+namespace hpccsim::nx {
+
+NxContext::NxContext(NxMachine& machine, int rank)
+    : machine_(&machine), rank_(rank), mailbox_(machine.engine()) {}
+
+int NxContext::nodes() const { return machine_->nodes(); }
+
+sim::Time NxContext::now() const {
+  return const_cast<NxMachine*>(machine_)->engine().now();
+}
+
+sim::Engine& NxContext::engine() { return machine_->engine(); }
+
+const proc::MachineConfig& NxContext::config() const {
+  return machine_->config();
+}
+
+void NxContext::launch_message(int dst, int tag, Bytes bytes,
+                               Payload payload, sim::Time depart) {
+  auto& eng = machine_->engine();
+  // Hand the message to the network; the model returns the arrival time
+  // of the last byte at the destination NIC.
+  const sim::Time arrival =
+      machine_->network().transfer(rank_, dst, bytes, depart);
+  Message msg{rank_, tag, bytes, std::move(payload)};
+  Mailbox* dst_box = &machine_->context(dst).mailbox();
+  eng.schedule_call(arrival, [dst_box, m = std::move(msg)]() mutable {
+    dst_box->deliver(std::move(m));
+  });
+  machine_->record_message(
+      MessageTraceRecord{depart, arrival, rank_, dst, tag, bytes});
+  ++stats_.sends;
+  stats_.bytes_sent += bytes;
+}
+
+sim::Task<> NxContext::send(int dst, int tag, Bytes bytes, Payload payload) {
+  HPCCSIM_EXPECTS(dst >= 0 && dst < nodes());
+  HPCCSIM_EXPECTS(tag >= 0);
+  auto& eng = machine_->engine();
+  const sim::Time start = eng.now();
+
+  // csend: the CPU drives the send — software overhead blocks the node.
+  co_await eng.delay(config().send_overhead);
+  launch_message(dst, tag, bytes, std::move(payload), eng.now());
+  // The CPU-driven path also occupies the co-processor horizon so that
+  // mixed send/isend traffic stays serialized per node.
+  send_coproc_free_ = std::max(send_coproc_free_, eng.now());
+  stats_.send_wait += eng.now() - start;
+}
+
+Request NxContext::isend(int dst, int tag, Bytes bytes, Payload payload) {
+  HPCCSIM_EXPECTS(dst >= 0 && dst < nodes());
+  HPCCSIM_EXPECTS(tag >= 0);
+  auto& eng = machine_->engine();
+  auto state = std::make_shared<detail::RequestState>(eng);
+
+  // Offloaded: departure queues behind earlier posted sends.
+  const sim::Time depart =
+      std::max(eng.now(), send_coproc_free_) + config().send_overhead;
+  send_coproc_free_ = depart;
+
+  // Reserve the route now (deterministic: reservations happen in posting
+  // order) and mark the request complete at departure.
+  launch_message(dst, tag, bytes, std::move(payload), depart);
+  eng.schedule_call(depart, [state] {
+    state->finished = true;
+    state->done.fire();
+  });
+  return Request(state);
+}
+
+Request NxContext::irecv(int src, int tag) {
+  auto& eng = machine_->engine();
+  auto state = std::make_shared<detail::RequestState>(eng);
+  // A helper process posts the receive immediately (so matching order
+  // is the posting order) and completes the request once the message
+  // and its software overhead have landed.
+  Mailbox* box = &mailbox_;
+  const sim::Time overhead = config().recv_overhead;
+  NodeStats* stats = &stats_;
+  eng.spawn(
+      [](Mailbox* mb, sim::Engine* e, sim::Time ovh,
+         std::shared_ptr<detail::RequestState> st,
+         NodeStats* ns, int s, int t) -> sim::Task<> {
+        Message m = co_await mb->recv(s, t);
+        co_await e->delay(ovh);
+        ++ns->recvs;
+        st->msg = std::move(m);
+        st->finished = true;
+        st->done.fire();
+      }(box, &eng, overhead, state, stats, src, tag),
+      "irecv");
+  return Request(state);
+}
+
+sim::Task<> NxContext::waitall(std::vector<Request> requests) {
+  for (auto& r : requests) (void)co_await r.wait();
+}
+
+sim::Task<> NxContext::send_values(int dst, int tag,
+                                   std::vector<double> values) {
+  const Bytes bytes = doubles_bytes(values.size());
+  co_await send(dst, tag, bytes, make_payload(std::move(values)));
+}
+
+sim::Task<Message> NxContext::recv(int src, int tag) {
+  auto& eng = machine_->engine();
+  const sim::Time start = eng.now();
+  Message m = co_await mailbox_.recv(src, tag);
+  co_await eng.delay(config().recv_overhead);
+  ++stats_.recvs;
+  stats_.recv_wait += eng.now() - start;
+  co_return m;
+}
+
+bool NxContext::probe(int src, int tag) { return mailbox_.probe(src, tag); }
+
+sim::Task<> NxContext::compute(proc::Kernel k, std::int64_t m,
+                               std::int64_t n, std::int64_t p) {
+  const sim::Time t = config().node.time_for(k, m, n, p);
+  stats_.flops_charged += proc::kernel_flops(k, m, n, p);
+  stats_.compute_time += t;
+  co_await machine_->engine().delay(t);
+}
+
+sim::Task<> NxContext::busy(sim::Time t) {
+  stats_.compute_time += t;
+  co_await machine_->engine().delay(t);
+}
+
+}  // namespace hpccsim::nx

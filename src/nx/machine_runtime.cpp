@@ -1,0 +1,73 @@
+#include "nx/machine_runtime.hpp"
+
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace hpccsim::nx {
+
+NxMachine::NxMachine(proc::MachineConfig config, NetKind net)
+    : config_(std::move(config)) {
+  switch (net) {
+    case NetKind::AnalyticalMesh:
+      net_ = std::make_unique<mesh::AnalyticalMeshNet>(config_.mesh(),
+                                                       config_.net);
+      break;
+    case NetKind::Crossbar:
+      net_ = std::make_unique<mesh::CrossbarNet>(
+          config_.node_count(), config_.net.per_hop_latency,
+          config_.net.channel_bw);
+      break;
+  }
+  contexts_.reserve(static_cast<std::size_t>(config_.node_count()));
+  for (int r = 0; r < config_.node_count(); ++r)
+    contexts_.push_back(std::make_unique<NxContext>(*this, r));
+}
+
+sim::Time NxMachine::run(const Program& program) {
+  const sim::Time start = engine_.now();
+  for (int r = 0; r < nodes(); ++r)
+    engine_.spawn(program(*contexts_[r]), "node" + std::to_string(r));
+  engine_.run();
+  const sim::Time elapsed = engine_.now() - start;
+  HPCCSIM_LOG(Debug) << config_.name << ": " << nodes() << " nodes, "
+                     << engine_.events_processed() << " events, t="
+                     << elapsed.str();
+  return elapsed;
+}
+
+sim::Time NxMachine::run_each(const std::vector<Program>& per_node) {
+  HPCCSIM_EXPECTS(static_cast<int>(per_node.size()) == nodes());
+  const sim::Time start = engine_.now();
+  for (int r = 0; r < nodes(); ++r)
+    engine_.spawn(per_node[r](*contexts_[r]), "node" + std::to_string(r));
+  engine_.run();
+  return engine_.now() - start;
+}
+
+std::string NxMachine::message_trace_csv() const {
+  std::ostringstream os;
+  os << "depart_us,arrive_us,src,dst,tag,bytes\n";
+  for (const auto& r : trace_) {
+    os << r.depart.as_us() << ',' << r.arrive.as_us() << ',' << r.src << ','
+       << r.dst << ',' << r.tag << ',' << r.bytes << '\n';
+  }
+  return os.str();
+}
+
+NodeStats NxMachine::total_stats() const {
+  NodeStats total;
+  for (const auto& c : contexts_) {
+    const NodeStats& s = c->stats();
+    total.sends += s.sends;
+    total.recvs += s.recvs;
+    total.bytes_sent += s.bytes_sent;
+    total.flops_charged += s.flops_charged;
+    total.compute_time += s.compute_time;
+    total.send_wait += s.send_wait;
+    total.recv_wait += s.recv_wait;
+  }
+  return total;
+}
+
+}  // namespace hpccsim::nx

@@ -1,0 +1,36 @@
+#include "nx/mailbox.hpp"
+
+namespace hpccsim::nx {
+
+void Mailbox::deliver(Message m) {
+  // Hand to the earliest-posted matching receive, if any.
+  for (auto it = recvs_.begin(); it != recvs_.end(); ++it) {
+    if (matches(m, it->src, it->tag)) {
+      *it->out = std::move(m);
+      auto h = it->handle;
+      recvs_.erase(it);
+      engine_->schedule(engine_->now(), h);
+      return;
+    }
+  }
+  msgs_.push_back(std::move(m));
+}
+
+bool Mailbox::try_take(int src, int tag, Message& out) {
+  for (auto it = msgs_.begin(); it != msgs_.end(); ++it) {
+    if (matches(*it, src, tag)) {
+      out = std::move(*it);
+      msgs_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Mailbox::probe(int src, int tag) const {
+  for (const auto& m : msgs_)
+    if (matches(m, src, tag)) return true;
+  return false;
+}
+
+}  // namespace hpccsim::nx

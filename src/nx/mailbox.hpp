@@ -1,0 +1,75 @@
+// Per-node mailbox with (source, tag) matching.
+//
+// Matching follows the NX/MPI convention: a receive names a source (or
+// kAnySource) and a tag (or kAnyTag); messages match in arrival order,
+// receives in posting order. Single-threaded under the simulation engine,
+// so no locking; wakeups are scheduled through the engine for
+// deterministic ordering.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <list>
+
+#include "core/engine.hpp"
+#include "nx/message.hpp"
+
+namespace hpccsim::nx {
+
+class Mailbox {
+ public:
+  explicit Mailbox(sim::Engine& engine) : engine_(&engine) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Deposit a message (called by the runtime at network-arrival time).
+  void deliver(Message m);
+
+  /// Awaitable: suspends until a message matching (src, tag) arrives.
+  auto recv(int src, int tag) {
+    struct Awaiter {
+      Mailbox* mb;
+      int src;
+      int tag;
+      Message out;
+      std::list<PendingRecv>::iterator where;
+
+      bool await_ready() {
+        return mb->try_take(src, tag, out);
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        where = mb->recvs_.insert(mb->recvs_.end(),
+                                  PendingRecv{src, tag, &out, h});
+      }
+      Message await_resume() { return std::move(out); }
+    };
+    return Awaiter{this, src, tag, {}, {}};
+  }
+
+  /// Non-blocking probe: is a matching message queued?
+  bool probe(int src, int tag) const;
+
+  std::size_t queued() const { return msgs_.size(); }
+  std::size_t waiting_receivers() const { return recvs_.size(); }
+
+ private:
+  struct PendingRecv {
+    int src;
+    int tag;
+    Message* out;
+    std::coroutine_handle<> handle;
+  };
+
+  static bool matches(const Message& m, int src, int tag) {
+    return (src == kAnySource || m.src == src) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  bool try_take(int src, int tag, Message& out);
+
+  sim::Engine* engine_;
+  std::deque<Message> msgs_;
+  std::list<PendingRecv> recvs_;
+};
+
+}  // namespace hpccsim::nx

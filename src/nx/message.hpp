@@ -1,0 +1,55 @@
+// Messages exchanged between simulated node programs.
+//
+// A message always has a byte size (it drives the network timing model)
+// and may carry a payload of doubles. In the linear-algebra "modeled"
+// execution mode, payloads are absent: the message sizes and schedule are
+// identical, only the arithmetic is skipped. Payloads are shared_ptr so a
+// broadcast can fan one buffer out without copies.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hpccsim::nx {
+
+using Payload = std::shared_ptr<const std::vector<double>>;
+
+/// Wildcard for recv filters.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int src = -1;
+  int tag = 0;
+  Bytes bytes = 0;
+  Payload payload;  ///< may be null (shape-only message)
+
+  /// Convenience: payload values (empty if shape-only).
+  const std::vector<double>& values() const {
+    static const std::vector<double> kEmpty;
+    return payload ? *payload : kEmpty;
+  }
+};
+
+/// Build a payload from values.
+inline Payload make_payload(std::vector<double> v) {
+  return std::make_shared<const std::vector<double>>(std::move(v));
+}
+
+/// Build a payload from scalars: payload_of(1.0, 2.0).
+///
+/// Prefer this over make_payload({...}) inside coroutines: a braced
+/// initializer list used in a co_await'ed full expression creates a
+/// temporary array that GCC 12 cannot place in the coroutine frame
+/// ("array used as initializer"); scalar arguments sidestep it.
+template <class... Ts>
+Payload payload_of(Ts... vals) {
+  return make_payload(std::vector<double>{static_cast<double>(vals)...});
+}
+
+/// Size in bytes of a payload of n doubles.
+inline constexpr Bytes doubles_bytes(std::size_t n) { return n * 8; }
+
+}  // namespace hpccsim::nx

@@ -1,0 +1,71 @@
+// Non-blocking communication requests (NX isend/irecv style).
+//
+// A Request is a lightweight handle to an in-flight operation:
+//
+//   nx::Request r1 = ctx.isend(dst, tag, bytes, payload);
+//   nx::Request r2 = ctx.irecv(src, tag);
+//   ... overlap computation ...
+//   nx::Message m = co_await r2.wait();   // recv result
+//   co_await r1.wait();                   // send completion
+//
+// Completion semantics:
+//   - isend completes when the message has been handed to the network
+//     (local buffering, like NX's isend) — NOT when it is received;
+//   - irecv completes when a matching message has arrived and the
+//     receive software overhead has been charged.
+//
+// Modeling note: overheads of concurrent operations are charged on a
+// per-node serialized "message co-processor" timeline (sends) or
+// overlapped (receives), i.e. the node CPU is NOT blocked. This models a
+// machine with communication offload; the Delta's NX had only partial
+// overlap, so modeled overlap is slightly optimistic. Blocking send()
+// and recv() share the same machinery and are exactly NX's csend/crecv.
+#pragma once
+
+#include <memory>
+
+#include "core/engine.hpp"
+#include "nx/message.hpp"
+
+namespace hpccsim::nx {
+
+namespace detail {
+struct RequestState {
+  explicit RequestState(sim::Engine& engine) : done(engine) {}
+  sim::Trigger done;
+  Message msg;       // recv result (empty for sends)
+  bool finished = false;
+};
+}  // namespace detail
+
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<detail::RequestState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return static_cast<bool>(state_); }
+  /// Non-blocking completion test (NX msgdone).
+  bool done() const { return state_ && state_->finished; }
+
+  /// Awaitable: suspends until the operation completes; returns the
+  /// received Message (empty for sends).
+  auto wait() {
+    HPCCSIM_EXPECTS(valid());
+    struct Awaiter {
+      detail::RequestState* st;
+      bool await_ready() const noexcept { return st->finished; }
+      void await_suspend(std::coroutine_handle<> h) {
+        // Trigger::wait() awaiter registration, inlined.
+        st->done.wait().await_suspend(h);
+      }
+      Message await_resume() { return std::move(st->msg); }
+    };
+    return Awaiter{state_.get()};
+  }
+
+ private:
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+}  // namespace hpccsim::nx

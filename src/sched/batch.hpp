@@ -1,0 +1,88 @@
+// Batch scheduling of the space-shared testbed.
+//
+// The paper's "APPROACH" slide: "ESTABLISH HIGH PERFORMANCE COMPUTING
+// TESTBEDS" used by "APPLICATION SOFTWARE TEAMS". Operationally that
+// meant a batch queue in front of the partition allocator. This module
+// simulates it: jobs arrive over time, are placed FCFS or with EASY
+// backfill, run for their duration, and free their partitions.
+//
+// The simulation runs on the discrete-event engine with plain callbacks
+// (no coroutines needed — there is no intra-job behaviour here).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sched/partition.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace hpccsim::sched {
+
+struct Job {
+  std::string name;
+  std::int32_t nodes = 1;
+  sim::Time runtime;        ///< actual runtime
+  sim::Time estimate;       ///< user estimate (backfill uses this)
+  sim::Time submit;
+
+  // Filled by the scheduler.
+  sim::Time start;
+  sim::Time finish;
+  bool started = false;
+  bool done = false;
+};
+
+enum class SchedulePolicy {
+  FCFS,          ///< strict queue order; head-of-line blocking
+  EasyBackfill,  ///< later jobs may jump ahead if they cannot delay the
+                 ///< reserved start of the queue head
+};
+
+const char* policy_name(SchedulePolicy p);
+
+struct BatchResult {
+  sim::Time makespan;
+  double utilization = 0.0;      ///< busy node-seconds / (nodes * makespan)
+  RunningStat wait_minutes;      ///< queue wait per job
+  RunningStat frag_samples;      ///< fragmentation at each schedule pass
+  std::int64_t backfilled = 0;   ///< jobs started out of queue order
+};
+
+class BatchSimulator {
+ public:
+  BatchSimulator(mesh::Mesh2D mesh, SchedulePolicy policy);
+
+  /// Submit a job (before run()); jobs may be submitted in any order.
+  void submit(Job job);
+
+  /// Run to completion of all jobs; returns the metrics.
+  BatchResult run();
+
+  const std::vector<Job>& jobs() const { return jobs_; }
+
+ private:
+  void schedule_pass(sim::Engine& engine);
+  bool try_start(sim::Engine& engine, std::size_t job_index);
+
+  mesh::Mesh2D mesh_;
+  SchedulePolicy policy_;
+  PartitionAllocator alloc_;
+  std::vector<Job> jobs_;
+  std::deque<std::size_t> queue_;  // indices of waiting jobs, FCFS order
+  double busy_node_seconds_ = 0.0;
+  std::int64_t backfilled_ = 0;
+  RunningStat frag_;
+};
+
+/// A representative consortium day: a mix of full-machine hero runs,
+/// mid-size production sweeps, and small debug jobs.
+std::vector<Job> consortium_workload(std::int32_t total_jobs,
+                                     std::int32_t machine_nodes,
+                                     std::uint64_t seed);
+
+}  // namespace hpccsim::sched

@@ -1,0 +1,140 @@
+#include "sched/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpccsim::sched {
+
+PartitionAllocator::PartitionAllocator(mesh::Mesh2D mesh)
+    : mesh_(mesh),
+      occupied_(static_cast<std::size_t>(mesh.node_count()), false) {}
+
+bool PartitionAllocator::fits_at(std::int32_t x, std::int32_t y,
+                                 std::int32_t w, std::int32_t h) const {
+  if (x + w > mesh_.width() || y + h > mesh_.height()) return false;
+  for (std::int32_t j = y; j < y + h; ++j)
+    for (std::int32_t i = x; i < x + w; ++i)
+      if (occupied_[static_cast<std::size_t>(
+              mesh_.id_of(mesh::Coord{i, j}))])
+        return false;
+  return true;
+}
+
+std::optional<Rect> PartitionAllocator::find_first_fit(std::int32_t w,
+                                                       std::int32_t h) const {
+  // Row-major scan: deterministic, packs toward the origin.
+  for (std::int32_t y = 0; y + h <= mesh_.height(); ++y)
+    for (std::int32_t x = 0; x + w <= mesh_.width(); ++x)
+      if (fits_at(x, y, w, h)) return Rect{x, y, w, h};
+  return std::nullopt;
+}
+
+void PartitionAllocator::mark(const Rect& r, bool value) {
+  for (std::int32_t j = r.y; j < r.y + r.h; ++j)
+    for (std::int32_t i = r.x; i < r.x + r.w; ++i) {
+      auto cell = occupied_[static_cast<std::size_t>(
+          mesh_.id_of(mesh::Coord{i, j}))];  // vector<bool> proxy
+      HPCCSIM_ASSERT(cell != value);
+      cell = value;
+    }
+  busy_ += value ? r.nodes() : -r.nodes();
+}
+
+std::optional<PartitionId> PartitionAllocator::allocate(std::int32_t w,
+                                                        std::int32_t h) {
+  HPCCSIM_EXPECTS(w >= 1 && h >= 1);
+  std::optional<Rect> r = find_first_fit(w, h);
+  if (!r && w != h) r = find_first_fit(h, w);  // try the other orientation
+  if (!r) return std::nullopt;
+  mark(*r, true);
+  partitions_.push_back(*r);
+  return static_cast<PartitionId>(partitions_.size() - 1);
+}
+
+std::vector<std::pair<std::int32_t, std::int32_t>> candidate_shapes(
+    std::int32_t nodes) {
+  HPCCSIM_EXPECTS(nodes >= 1);
+  std::vector<std::pair<std::int32_t, std::int32_t>> shapes;
+  // Exact-area factorizations, from near-square toward skinny.
+  for (std::int32_t h = static_cast<std::int32_t>(std::sqrt(nodes)); h >= 1;
+       --h) {
+    if (nodes % h == 0) shapes.emplace_back(nodes / h, h);
+  }
+  return shapes;
+}
+
+std::optional<PartitionId> PartitionAllocator::allocate_nodes(
+    std::int32_t nodes) {
+  for (const auto& [w, h] : candidate_shapes(nodes)) {
+    if (auto id = allocate(w, h)) return id;
+  }
+  return std::nullopt;
+}
+
+void PartitionAllocator::release(PartitionId id) {
+  HPCCSIM_EXPECTS(id >= 0 &&
+                  id < static_cast<PartitionId>(partitions_.size()));
+  auto& slot = partitions_[static_cast<std::size_t>(id)];
+  HPCCSIM_EXPECTS(slot.has_value());
+  mark(*slot, false);
+  slot.reset();
+}
+
+const Rect& PartitionAllocator::rect_of(PartitionId id) const {
+  HPCCSIM_EXPECTS(id >= 0 &&
+                  id < static_cast<PartitionId>(partitions_.size()));
+  const auto& slot = partitions_[static_cast<std::size_t>(id)];
+  HPCCSIM_EXPECTS(slot.has_value());
+  return *slot;
+}
+
+std::size_t PartitionAllocator::active_partitions() const {
+  std::size_t n = 0;
+  for (const auto& p : partitions_)
+    if (p) ++n;
+  return n;
+}
+
+std::int32_t PartitionAllocator::largest_free_rectangle() const {
+  // Maximal-rectangle-in-binary-matrix via the histogram method, O(W*H).
+  const std::int32_t W = mesh_.width(), H = mesh_.height();
+  std::vector<std::int32_t> height(static_cast<std::size_t>(W), 0);
+  std::int32_t best = 0;
+  for (std::int32_t y = 0; y < H; ++y) {
+    for (std::int32_t x = 0; x < W; ++x) {
+      const bool occ =
+          occupied_[static_cast<std::size_t>(mesh_.id_of(mesh::Coord{x, y}))];
+      height[static_cast<std::size_t>(x)] =
+          occ ? 0 : height[static_cast<std::size_t>(x)] + 1;
+    }
+    // Largest rectangle in histogram (stack method).
+    std::vector<std::int32_t> stack;
+    for (std::int32_t x = 0; x <= W; ++x) {
+      const std::int32_t hcur =
+          x < W ? height[static_cast<std::size_t>(x)] : 0;
+      std::int32_t start = x;
+      while (!stack.empty() &&
+             height[static_cast<std::size_t>(stack.back())] > hcur) {
+        const std::int32_t top = stack.back();
+        stack.pop_back();
+        const std::int32_t width =
+            stack.empty() ? x : x - stack.back() - 1;
+        best = std::max(best,
+                        height[static_cast<std::size_t>(top)] * width);
+        start = top;
+      }
+      (void)start;
+      if (x < W) stack.push_back(x);
+    }
+  }
+  return best;
+}
+
+double PartitionAllocator::fragmentation() const {
+  const std::int32_t free_nodes = nodes_total() - busy_;
+  if (free_nodes == 0) return 0.0;
+  const std::int32_t largest = largest_free_rectangle();
+  return 1.0 - static_cast<double>(largest) / free_nodes;
+}
+
+}  // namespace hpccsim::sched

@@ -1,0 +1,52 @@
+// Lightweight precondition / invariant checking.
+//
+// HPCCSIM_EXPECTS / HPCCSIM_ENSURES follow the C++ Core Guidelines
+// Expects()/Ensures() idiom (I.6, I.8): they document and enforce
+// contracts at API boundaries. Violations throw hpccsim::ContractError so
+// tests can assert on them; they are never compiled out, because the
+// simulator's correctness depends on them and their cost is negligible
+// next to event processing.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace hpccsim {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       std::source_location loc) {
+  throw ContractError(std::string(kind) + " failed: " + expr + " at " +
+                      loc.file_name() + ":" + std::to_string(loc.line()));
+}
+}  // namespace detail
+
+}  // namespace hpccsim
+
+#define HPCCSIM_EXPECTS(cond)                                  \
+  do {                                                         \
+    if (!(cond))                                               \
+      ::hpccsim::detail::contract_fail("precondition", #cond,  \
+                                       std::source_location::current()); \
+  } while (false)
+
+#define HPCCSIM_ENSURES(cond)                                  \
+  do {                                                         \
+    if (!(cond))                                               \
+      ::hpccsim::detail::contract_fail("postcondition", #cond, \
+                                       std::source_location::current()); \
+  } while (false)
+
+#define HPCCSIM_ASSERT(cond)                                   \
+  do {                                                         \
+    if (!(cond))                                               \
+      ::hpccsim::detail::contract_fail("invariant", #cond,     \
+                                       std::source_location::current()); \
+  } while (false)

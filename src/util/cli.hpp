@@ -1,0 +1,52 @@
+// Minimal command-line option parsing for bench and example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag`. Unknown
+// options are an error so typos fail fast instead of silently running the
+// default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hpccsim {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Declare options before parse(); `help` appears in usage().
+  void add_flag(std::string name, std::string help);
+  void add_option(std::string name, std::string help,
+                  std::string default_value);
+
+  /// Parses argv; throws std::invalid_argument on unknown/malformed input.
+  void parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  std::string str(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+
+  /// Comma-separated list of integers ("1000,2000,4000").
+  std::vector<std::int64_t> int_list(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Opt {
+    std::string help;
+    std::string value;   // current (default or parsed) value
+    bool is_flag = false;
+    bool set = false;
+  };
+  const Opt& get(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Opt> opts_;
+};
+
+}  // namespace hpccsim

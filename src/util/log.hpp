@@ -1,0 +1,47 @@
+// Leveled logging to stderr. The simulator is deterministic, so logs are
+// reproducible transcripts; keep them terse.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hpccsim {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+/// Global threshold; messages below it are dropped. Default: Info.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"; throws on anything else.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style logger: HPCCSIM_LOG(Info) << "events=" << n;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace hpccsim
+
+#define HPCCSIM_LOG(level)                                      \
+  if (::hpccsim::LogLevel::level < ::hpccsim::log_level()) {    \
+  } else                                                        \
+    ::hpccsim::LogLine(::hpccsim::LogLevel::level)

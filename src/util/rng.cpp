@@ -1,0 +1,31 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace hpccsim {
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Marsaglia polar method.
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * m;
+  has_cached_normal_ = true;
+  return u * m;
+}
+
+double Rng::exponential(double rate) {
+  HPCCSIM_EXPECTS(rate > 0.0);
+  // Inversion; 1 - uniform() is in (0, 1] so log() is finite.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+}  // namespace hpccsim

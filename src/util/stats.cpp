@@ -1,0 +1,79 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace hpccsim {
+
+void RunningStat::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LogHistogram::add(double x) {
+  HPCCSIM_EXPECTS(x >= 0.0);
+  int b = x < 1.0 ? 0 : static_cast<int>(std::floor(std::log2(x)));
+  b = std::clamp(b, 0, kBuckets - 1);
+  ++buckets_[b];
+  ++total_;
+}
+
+double LogHistogram::quantile(double q) const {
+  HPCCSIM_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  double seen = 0.0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const double c = static_cast<double>(buckets_[b]);
+    if (seen + c >= target && c > 0) {
+      // Linear interpolation within the bucket's value range.
+      const double lo = b == 0 ? 0.0 : std::exp2(b);
+      const double hi = std::exp2(b + 1);
+      const double frac = (target - seen) / c;
+      return lo + frac * (hi - lo);
+    }
+    seen += c;
+  }
+  return std::exp2(kBuckets);
+}
+
+std::string LogHistogram::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "n=%llu p50=%.3g p95=%.3g p99=%.3g",
+                static_cast<unsigned long long>(total_), p50(), p95(), p99());
+  return buf;
+}
+
+}  // namespace hpccsim

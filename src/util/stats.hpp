@@ -1,0 +1,57 @@
+// Online statistics: running moments and log-scale latency histograms.
+// Used by the mesh/wan simulators and the bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hpccsim {
+
+/// Welford's online mean/variance plus min/max.
+class RunningStat {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1); 0 if n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator (parallel-friendly; Chan et al.).
+  void merge(const RunningStat& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Log₂-bucketed histogram for nonnegative values (latencies in ps).
+/// Bucket b holds values in [2^b, 2^(b+1)); values < 1 land in bucket 0.
+class LogHistogram {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return total_; }
+
+  /// Approximate quantile (q in [0,1]) via bucket interpolation.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  std::string summary() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(kBuckets);
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hpccsim

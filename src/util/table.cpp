@@ -1,0 +1,123 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace hpccsim {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  HPCCSIM_EXPECTS(!headers_.empty());
+  if (aligns_.empty()) {
+    // Default: first column left, the rest right (numeric convention).
+    aligns_.assign(headers_.size(), Align::Right);
+    aligns_[0] = Align::Left;
+  }
+  HPCCSIM_EXPECTS(aligns_.size() == headers_.size());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  HPCCSIM_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::integer(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::vector<std::size_t> Table::widths() const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      w[c] = std::max(w[c], row[c].size());
+  return w;
+}
+
+namespace {
+std::string pad(const std::string& s, std::size_t width, Align a) {
+  if (s.size() >= width) return s;
+  const std::string fill(width - s.size(), ' ');
+  return a == Align::Left ? s + fill : fill + s;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::ascii() const {
+  const auto w = widths();
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      os << pad(row[c], w[c], aligns_[c]);
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < w.size(); ++c) total += w[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::markdown() const {
+  const auto w = widths();
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << ' ' << pad(row[c], w[c], aligns_[c]) << " |";
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < w.size(); ++c) {
+    const bool right = aligns_[c] == Align::Right;
+    const std::size_t rule = std::max<std::size_t>(w[c], 3);
+    os << ' ' << std::string(rule - (right ? 1 : 0), '-') << (right ? ":" : "")
+       << " |";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+}  // namespace hpccsim

@@ -1,0 +1,55 @@
+// Tabular output: every bench binary renders the paper's tables/figures
+// through this one formatter so ASCII, CSV, and Markdown stay consistent.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hpccsim {
+
+/// Column alignment for ASCII / Markdown rendering.
+enum class Align { Left, Right };
+
+/// A simple row/column table with typed cell helpers.
+///
+/// Usage:
+///   Table t({"agency", "FY92 ($M)", "FY93 ($M)", "growth"});
+///   t.add_row({"DARPA", "232.2", "275.0", "+18.4%"});
+///   std::cout << t.ascii();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<Align> aligns = {});
+
+  /// Number of columns, fixed at construction.
+  std::size_t columns() const { return headers_.size(); }
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Adds a row; must have exactly columns() cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Cell formatting helpers.
+  static std::string num(double v, int precision = 1);
+  static std::string integer(std::int64_t v);
+  static std::string percent(double fraction, int precision = 1);
+
+  /// Render as an aligned ASCII table with a header rule.
+  std::string ascii() const;
+  /// Render as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string csv() const;
+  /// Render as a GitHub-flavoured Markdown table.
+  std::string markdown() const;
+
+  const std::vector<std::string>& header() const { return headers_; }
+  const std::vector<std::vector<std::string>>& body() const { return rows_; }
+
+ private:
+  std::vector<std::size_t> widths() const;
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hpccsim

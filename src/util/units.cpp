@@ -1,0 +1,38 @@
+#include "util/units.hpp"
+
+#include <cstdio>
+
+namespace hpccsim {
+
+namespace {
+std::string fmt(double v, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3g %s", v, unit);
+  return buf;
+}
+}  // namespace
+
+std::string format_bytes(Bytes b) {
+  if (b >= GiB) return fmt(static_cast<double>(b) / GiB, "GiB");
+  if (b >= MiB) return fmt(static_cast<double>(b) / MiB, "MiB");
+  if (b >= KiB) return fmt(static_cast<double>(b) / KiB, "KiB");
+  return fmt(static_cast<double>(b), "B");
+}
+
+std::string format_rate(BytesPerSecond r) {
+  const double bits = r.bits_per_sec();
+  if (bits >= Giga) return fmt(bits / Giga, "Gbit/s");
+  if (bits >= Mega) return fmt(bits / Mega, "Mbit/s");
+  if (bits >= Kilo) return fmt(bits / Kilo, "kbit/s");
+  return fmt(bits, "bit/s");
+}
+
+std::string format_flops(FlopsPerSecond r) {
+  const double f = r.flops_per_sec();
+  if (f >= Giga) return fmt(f / Giga, "GFLOPS");
+  if (f >= Mega) return fmt(f / Mega, "MFLOPS");
+  if (f >= Kilo) return fmt(f / Kilo, "kFLOPS");
+  return fmt(f, "FLOPS");
+}
+
+}  // namespace hpccsim

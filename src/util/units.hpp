@@ -1,0 +1,68 @@
+// Units used throughout the simulator: bytes, flops, and data rates.
+//
+// These are thin, explicit helpers rather than a full dimensional-analysis
+// library: the simulator's public APIs always name the unit in the
+// parameter (bytes, flops, bits_per_second) and these helpers make call
+// sites read naturally (`64 * MiB`, `mbps(45.0)`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hpccsim {
+
+using Bytes = std::uint64_t;
+using Flops = std::uint64_t;  ///< a count of floating-point operations
+
+inline constexpr Bytes KiB = 1024;
+inline constexpr Bytes MiB = 1024 * KiB;
+inline constexpr Bytes GiB = 1024 * MiB;
+
+/// Decimal units, used for network rates (a T3 is 45 * Mbit / 8 bytes/s).
+inline constexpr double Kilo = 1e3;
+inline constexpr double Mega = 1e6;
+inline constexpr double Giga = 1e9;
+
+/// Data rate in bytes per second.
+struct BytesPerSecond {
+  double value = 0.0;
+  constexpr double bytes_per_sec() const { return value; }
+  constexpr double bits_per_sec() const { return value * 8.0; }
+};
+
+/// Construct a rate from megabits per second (telecom convention: 1e6).
+constexpr BytesPerSecond mbps(double megabits) {
+  return BytesPerSecond{megabits * Mega / 8.0};
+}
+
+/// Construct a rate from kilobits per second.
+constexpr BytesPerSecond kbps(double kilobits) {
+  return BytesPerSecond{kilobits * Kilo / 8.0};
+}
+
+/// Construct a rate from megabytes per second (decimal, as vendors quote).
+constexpr BytesPerSecond mb_per_s(double megabytes) {
+  return BytesPerSecond{megabytes * Mega};
+}
+
+/// Floating-point rate in flops per second.
+struct FlopsPerSecond {
+  double value = 0.0;
+  constexpr double flops_per_sec() const { return value; }
+  constexpr double gflops() const { return value / Giga; }
+  constexpr double mflops() const { return value / Mega; }
+};
+
+constexpr FlopsPerSecond mflops(double m) { return FlopsPerSecond{m * Mega}; }
+constexpr FlopsPerSecond gflops(double g) { return FlopsPerSecond{g * Giga}; }
+
+/// Human-readable byte count ("1.5 MiB").
+std::string format_bytes(Bytes b);
+
+/// Human-readable rate ("45.0 Mbit/s").
+std::string format_rate(BytesPerSecond r);
+
+/// Human-readable flop rate ("13.2 GFLOPS").
+std::string format_flops(FlopsPerSecond r);
+
+}  // namespace hpccsim

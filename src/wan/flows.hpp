@@ -1,0 +1,63 @@
+// Flow-level simulation of concurrent WAN transfers.
+//
+// Wan::transfer() times one transfer on an idle network; this module
+// answers the operational question behind the paper's NREN component:
+// what happens when the whole consortium pulls data at once? Flows share
+// links by max-min fairness (the steady state of well-behaved transport
+// protocols), recomputed at every flow arrival/completion — a classic
+// fluid-model network simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time.hpp"
+#include "util/units.hpp"
+#include "wan/wan.hpp"
+
+namespace hpccsim::wan {
+
+struct Flow {
+  SiteId src = 0;
+  SiteId dst = 0;
+  Bytes bytes = 0;
+  sim::Time start;
+
+  // Results, filled by the simulator.
+  sim::Time finish;
+  bool done = false;
+  /// finish - start, divided by the transfer's idle-network duration:
+  /// 1.0 = no interference, 2.0 = took twice as long.
+  double slowdown = 0.0;
+};
+
+class FlowSimulator {
+ public:
+  explicit FlowSimulator(const Wan& wan);
+
+  /// Register a flow (before run()); routed on its widest path.
+  /// Returns the flow index. Throws if src and dst are disconnected.
+  std::size_t add_flow(SiteId src, SiteId dst, Bytes bytes,
+                       sim::Time start = sim::Time::zero());
+
+  /// Run the fluid simulation to completion of all flows.
+  void run();
+
+  const std::vector<Flow>& flows() const { return flows_; }
+
+  /// Max-min fair rates (bytes/s per flow) for a hypothetical set of
+  /// simultaneously active flows — exposed for testing the allocator.
+  std::vector<double> fair_rates(
+      const std::vector<std::size_t>& active) const;
+
+ private:
+  struct Route {
+    std::vector<std::size_t> links;  // indices into wan_->links()
+  };
+
+  const Wan* wan_;
+  std::vector<Flow> flows_;
+  std::vector<Route> routes_;
+};
+
+}  // namespace hpccsim::wan

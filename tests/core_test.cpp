@@ -1,0 +1,532 @@
+// Tests for the discrete-event engine: time arithmetic, event ordering,
+// coroutine processes, triggers, channels, determinism, and failure modes
+// (deadlock detection, exception propagation).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/engine.hpp"
+#include "core/task.hpp"
+#include "core/time.hpp"
+
+namespace hpccsim::sim {
+namespace {
+
+// ---------------------------------------------------------------- Time --
+
+TEST(Time, UnitConstructorsAgree) {
+  EXPECT_EQ(Time::ns(1).picoseconds(), 1000u);
+  EXPECT_EQ(Time::us(1).picoseconds(), 1'000'000u);
+  EXPECT_EQ(Time::ms(1).picoseconds(), 1'000'000'000u);
+  EXPECT_EQ(Time::sec(1).picoseconds(), 1'000'000'000'000u);
+}
+
+TEST(Time, ArithmeticAndComparison) {
+  const Time a = Time::us(2), b = Time::us(3);
+  EXPECT_EQ((a + b).as_us(), 5.0);
+  EXPECT_EQ((b - a).as_us(), 1.0);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a * 4, Time::us(8));
+  EXPECT_THROW(a - b, ContractError);
+}
+
+TEST(Time, RoundsToNearestPicosecond) {
+  EXPECT_EQ(Time::ns(0.0004).picoseconds(), 0u);
+  EXPECT_EQ(Time::ns(0.0006).picoseconds(), 1u);
+}
+
+TEST(Time, FormatsHumanReadable) {
+  EXPECT_EQ(Time::sec(1.5).str(), "1.5 s");
+  EXPECT_EQ(Time::us(75).str(), "75 us");
+  EXPECT_EQ(Time::ps(3).str(), "3 ps");
+}
+
+// -------------------------------------------------------------- Engine --
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), Time::zero());
+  EXPECT_EQ(e.run(), 0u);
+}
+
+TEST(Engine, DelayAdvancesTime) {
+  Engine e;
+  Time observed = Time::zero();
+  e.spawn([](Engine& eng, Time& out) -> Task<> {
+    co_await eng.delay(Time::us(10));
+    out = eng.now();
+  }(e, observed));
+  e.run();
+  EXPECT_EQ(observed, Time::us(10));
+}
+
+TEST(Engine, EventsAtSameTimeRunInSpawnOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.spawn([](Engine& eng, std::vector<int>& o, int id) -> Task<> {
+      co_await eng.delay(Time::us(1));
+      o.push_back(id);
+    }(e, order, i));
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, InterleavesByTimestamp) {
+  Engine e;
+  std::vector<std::pair<std::string, double>> log;
+  auto proc = [](Engine& eng, std::vector<std::pair<std::string, double>>& l,
+                 std::string name, Time step, int n) -> Task<> {
+    for (int i = 0; i < n; ++i) {
+      co_await eng.delay(step);
+      l.emplace_back(name, eng.now().as_us());
+    }
+  };
+  e.spawn(proc(e, log, "fast", Time::us(2), 3));
+  e.spawn(proc(e, log, "slow", Time::us(3), 2));
+  e.run();
+  // Tie at t=6: "slow" armed its timer at t=3, before "fast" did at t=4,
+  // so the engine's (time, schedule-sequence) order runs "slow" first.
+  const std::vector<std::pair<std::string, double>> expected = {
+      {"fast", 2}, {"slow", 3}, {"fast", 4}, {"slow", 6}, {"fast", 6}};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(Engine, NestedTaskCallsReturnValues) {
+  Engine e;
+  int result = 0;
+
+  struct Helper {
+    static Task<int> leaf(Engine& eng) {
+      co_await eng.delay(Time::us(1));
+      co_return 21;
+    }
+    static Task<int> mid(Engine& eng) {
+      const int a = co_await leaf(eng);
+      const int b = co_await leaf(eng);
+      co_return a + b;
+    }
+  };
+  e.spawn([](Engine& eng, int& out) -> Task<> {
+    out = co_await Helper::mid(eng);
+  }(e, result));
+  e.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Engine, JoinWaitsForProcessCompletion) {
+  Engine e;
+  Time join_time = Time::zero();
+  const ProcessId worker = e.spawn([](Engine& eng) -> Task<> {
+    co_await eng.delay(Time::ms(5));
+  }(e), "worker");
+  e.spawn([](Engine& eng, ProcessId w, Time& out) -> Task<> {
+    co_await eng.join(w);
+    out = eng.now();
+  }(e, worker, join_time));
+  e.run();
+  EXPECT_EQ(join_time, Time::ms(5));
+  EXPECT_TRUE(e.finished(worker));
+}
+
+TEST(Engine, RunUntilStopsMidSimulation) {
+  Engine e;
+  int ticks = 0;
+  e.spawn([](Engine& eng, int& t) -> Task<> {
+    for (int i = 0; i < 10; ++i) {
+      co_await eng.delay(Time::ms(1));
+      ++t;
+    }
+  }(e, ticks));
+  e.run_until(Time::ms(3));
+  EXPECT_EQ(ticks, 3);
+  EXPECT_EQ(e.now(), Time::ms(3));
+  e.run();
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(Engine, PropagatesProcessExceptions) {
+  Engine e;
+  e.spawn([](Engine& eng) -> Task<> {
+    co_await eng.delay(Time::us(1));
+    throw std::runtime_error("boom");
+  }(e), "failing");
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(Engine, DetectsDeadlock) {
+  Engine e;
+  // A process waiting on a trigger nobody fires.
+  auto trigger = std::make_unique<Trigger>(e);
+  e.spawn([](Trigger& t) -> Task<> { co_await t.wait(); }(*trigger),
+          "stuck");
+  EXPECT_THROW(e.run(), DeadlockError);
+}
+
+TEST(Engine, MaxEventsGuardTrips) {
+  Engine e;
+  e.set_max_events(100);
+  e.spawn([](Engine& eng) -> Task<> {
+    for (;;) co_await eng.delay(Time::ns(1));
+  }(e), "runaway");
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(Engine, ScheduleCallRunsPlainCallbacks) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_call(Time::us(2), [&] { order.push_back(2); });
+  e.schedule_call(Time::us(1), [&] { order.push_back(1); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(e.now(), Time::us(2));
+}
+
+// ------------------------------------------------------------- Trigger --
+
+TEST(Trigger, ReleasesAllWaiters) {
+  Engine e;
+  Trigger t(e);
+  int released = 0;
+  for (int i = 0; i < 3; ++i) {
+    e.spawn([](Trigger& tr, int& r) -> Task<> {
+      co_await tr.wait();
+      ++r;
+    }(t, released));
+  }
+  e.spawn([](Engine& eng, Trigger& tr) -> Task<> {
+    co_await eng.delay(Time::us(7));
+    tr.fire();
+  }(e, t));
+  e.run();
+  EXPECT_EQ(released, 3);
+}
+
+TEST(Trigger, WaitAfterFireCompletesImmediately) {
+  Engine e;
+  Trigger t(e);
+  t.fire();
+  bool done = false;
+  e.spawn([](Trigger& tr, bool& d) -> Task<> {
+    co_await tr.wait();
+    d = true;
+  }(t, done));
+  e.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(e.now(), Time::zero());
+}
+
+// ------------------------------------------------------------- Channel --
+
+TEST(Channel, PopBlocksUntilPush) {
+  Engine e;
+  Channel<int> ch(e);
+  int got = 0;
+  Time when = Time::zero();
+  e.spawn([](Channel<int>& c, Engine& eng, int& g, Time& w) -> Task<> {
+    g = co_await c.pop();
+    w = eng.now();
+  }(ch, e, got, when));
+  e.spawn([](Engine& eng, Channel<int>& c) -> Task<> {
+    co_await eng.delay(Time::ms(2));
+    c.push(99);
+  }(e, ch));
+  e.run();
+  EXPECT_EQ(got, 99);
+  EXPECT_EQ(when, Time::ms(2));
+}
+
+TEST(Channel, BuffersWhenNoReceiver) {
+  Engine e;
+  Channel<int> ch(e);
+  ch.push(1);
+  ch.push(2);
+  std::vector<int> got;
+  e.spawn([](Channel<int>& c, std::vector<int>& g) -> Task<> {
+    g.push_back(co_await c.pop());
+    g.push_back(co_await c.pop());
+  }(ch, got));
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(Channel, ManyProducersManyConsumersDeliverAll) {
+  Engine e;
+  Channel<int> ch(e);
+  std::vector<int> got;
+  for (int p = 0; p < 4; ++p) {
+    e.spawn([](Engine& eng, Channel<int>& c, int base) -> Task<> {
+      for (int i = 0; i < 10; ++i) {
+        co_await eng.delay(Time::us(1 + (base * 7 + i) % 5));
+        c.push(base * 100 + i);
+      }
+    }(e, ch, p));
+  }
+  for (int q = 0; q < 4; ++q) {
+    e.spawn([](Channel<int>& c, std::vector<int>& g) -> Task<> {
+      for (int i = 0; i < 10; ++i) g.push_back(co_await c.pop());
+    }(ch, got));
+  }
+  e.run();
+  EXPECT_EQ(got.size(), 40u);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(std::unique(got.begin(), got.end()), got.end());
+}
+
+// -------------------------------------------------------- Determinism --
+
+// The same program must produce the identical event count and final time
+// on every run: the whole performance-model methodology rests on this.
+TEST(Determinism, IdenticalRunsProduceIdenticalTraces) {
+  auto run_once = [] {
+    Engine e;
+    Channel<int> ch(e);
+    std::vector<double> trace;
+    for (int p = 0; p < 8; ++p) {
+      e.spawn([](Engine& eng, Channel<int>& c, int id) -> Task<> {
+        for (int i = 0; i < 20; ++i) {
+          co_await eng.delay(Time::ns(100 * ((id * 13 + i) % 7 + 1)));
+          c.push(id);
+        }
+      }(e, ch, p));
+    }
+    e.spawn([](Engine& eng, Channel<int>& c, std::vector<double>& t)
+                -> Task<> {
+      for (int i = 0; i < 160; ++i) {
+        const int v = co_await c.pop();
+        t.push_back(eng.now().as_ns() + v);
+      }
+    }(e, ch, trace));
+    e.run();
+    return std::pair(trace, e.events_processed());
+  };
+  const auto [trace_a, events_a] = run_once();
+  const auto [trace_b, events_b] = run_once();
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_EQ(events_a, events_b);
+}
+
+}  // namespace
+}  // namespace hpccsim::sim
+
+// ---------------------------------------------------------------- sync --
+
+#include "core/sync.hpp"
+
+namespace hpccsim::sim {
+namespace {
+
+TEST(Semaphore, LimitsConcurrency) {
+  Engine e;
+  Semaphore sem(e, 2);
+  int active = 0, peak = 0;
+  for (int i = 0; i < 6; ++i) {
+    e.spawn([](Engine& eng, Semaphore& s, int& a, int& p) -> Task<> {
+      co_await s.acquire();
+      ++a;
+      p = std::max(p, a);
+      co_await eng.delay(Time::us(10));
+      --a;
+      s.release();
+    }(e, sem, active, peak));
+  }
+  e.run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(active, 0);
+  EXPECT_EQ(sem.available(), 2);
+}
+
+TEST(Semaphore, FifoWakeOrder) {
+  Engine e;
+  Semaphore sem(e, 0);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    e.spawn([](Semaphore& s, std::vector<int>& o, int id) -> Task<> {
+      co_await s.acquire();
+      o.push_back(id);
+    }(sem, order, i));
+  }
+  e.spawn([](Engine& eng, Semaphore& s) -> Task<> {
+    co_await eng.delay(Time::us(1));
+    for (int i = 0; i < 4; ++i) s.release();
+  }(e, sem));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Semaphore, ReleaseUnitNotStolenByFastPath) {
+  Engine e;
+  Semaphore sem(e, 0);
+  bool first_got = false, second_got = false;
+  e.spawn([](Semaphore& s, bool& g) -> Task<> {
+    co_await s.acquire();
+    g = true;
+  }(sem, first_got), "first");
+  e.spawn([](Engine& eng, Semaphore& s, bool& g) -> Task<> {
+    co_await eng.delay(Time::us(1));
+    s.release();
+    // Fast-path acquire immediately after release: must NOT take the
+    // unit promised to the suspended first waiter.
+    if (s.available() > 0) {
+      co_await s.acquire();
+      g = true;
+      s.release();
+    }
+  }(e, sem, second_got), "second");
+  e.run();
+  EXPECT_TRUE(first_got);
+  EXPECT_FALSE(second_got);  // available() was 0 after the promise
+}
+
+TEST(Mutex, MutualExclusionAcrossSuspension) {
+  Engine e;
+  Mutex mu(e);
+  std::vector<std::pair<int, const char*>> log;
+  for (int i = 0; i < 3; ++i) {
+    e.spawn([](Engine& eng, Mutex& m,
+               std::vector<std::pair<int, const char*>>& l, int id) -> Task<> {
+      co_await m.lock();
+      l.emplace_back(id, "in");
+      co_await eng.delay(Time::us(5));  // suspend inside the section
+      l.emplace_back(id, "out");
+      m.unlock();
+    }(e, mu, log, i));
+  }
+  e.run();
+  ASSERT_EQ(log.size(), 6u);
+  for (std::size_t i = 0; i < log.size(); i += 2) {
+    EXPECT_EQ(log[i].first, log[i + 1].first);  // in/out pairs never interleave
+    EXPECT_STREQ(log[i].second, "in");
+    EXPECT_STREQ(log[i + 1].second, "out");
+  }
+  EXPECT_FALSE(mu.locked());
+}
+
+TEST(WaitGroup, JoinsDynamicActivities) {
+  Engine e;
+  WaitGroup wg(e);
+  int finished = 0;
+  Time joined_at;
+  wg.add(3);
+  for (int i = 1; i <= 3; ++i) {
+    e.spawn([](Engine& eng, WaitGroup& w, int& f, int id) -> Task<> {
+      co_await eng.delay(Time::us(10 * id));
+      ++f;
+      w.done();
+    }(e, wg, finished, i));
+  }
+  e.spawn([](Engine& eng, WaitGroup& w, Time& t) -> Task<> {
+    co_await w.wait();
+    t = eng.now();
+  }(e, wg, joined_at));
+  e.run();
+  EXPECT_EQ(finished, 3);
+  EXPECT_EQ(joined_at, Time::us(30));
+}
+
+TEST(WaitGroup, EmptyWaitCompletesImmediately) {
+  Engine e;
+  WaitGroup wg(e);
+  bool done = false;
+  e.spawn([](WaitGroup& w, bool& d) -> Task<> {
+    co_await w.wait();
+    d = true;
+  }(wg, done));
+  e.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(WaitGroup, OverDoneIsAContractError) {
+  Engine e;
+  WaitGroup wg(e);
+  wg.add(1);
+  wg.done();
+  EXPECT_THROW(wg.done(), hpccsim::ContractError);
+}
+
+}  // namespace
+}  // namespace hpccsim::sim
+
+// --------------------------------------------------- more edge cases --
+
+namespace hpccsim::sim {
+namespace {
+
+TEST(TaskErrors, ExceptionPropagatesThroughNestedAwaits) {
+  Engine e;
+  std::string caught;
+  struct Helper {
+    static Task<int> leaf(Engine& eng) {
+      co_await eng.delay(Time::us(1));
+      throw std::runtime_error("deep failure");
+    }
+    static Task<int> mid(Engine& eng) { co_return co_await leaf(eng); }
+  };
+  e.spawn([](Engine& eng, std::string& out) -> Task<> {
+    try {
+      (void)co_await Helper::mid(eng);
+    } catch (const std::runtime_error& err) {
+      out = err.what();
+    }
+  }(e, caught));
+  e.run();
+  EXPECT_EQ(caught, "deep failure");
+}
+
+TEST(ChannelRegression, FastPathCannotStealReservedItem) {
+  // Regression for the reservation bug: a push wakes a waiter; a second
+  // popper arriving before the waiter resumes must not steal the item.
+  Engine e;
+  Channel<int> ch(e);
+  std::vector<std::pair<int, int>> got;  // (who, value)
+  e.spawn([](Channel<int>& c, std::vector<std::pair<int, int>>& g)
+              -> Task<> {
+    const int v = co_await c.pop();  // suspends (empty channel)
+    g.emplace_back(1, v);
+  }(ch, got), "first-waiter");
+  e.spawn([](Engine& eng, Channel<int>& c,
+             std::vector<std::pair<int, int>>& g) -> Task<> {
+    co_await eng.delay(Time::us(1));
+    c.push(100);  // reserved for the first waiter
+    // Fast-path pop in the same instant: must wait for the NEXT item.
+    const int v = co_await c.pop();
+    g.emplace_back(2, v);
+  }(e, ch, got), "second");
+  e.spawn([](Engine& eng, Channel<int>& c) -> Task<> {
+    co_await eng.delay(Time::us(2));
+    c.push(200);
+  }(e, ch), "late-pusher");
+  e.run();
+  ASSERT_EQ(got.size(), 2u);
+  // First waiter got the first item; the fast-path popper got the second.
+  EXPECT_EQ(got[0], (std::pair<int, int>{1, 100}));
+  EXPECT_EQ(got[1], (std::pair<int, int>{2, 200}));
+}
+
+TEST(EngineLifecycle, RunTwiceContinuesFromCurrentTime) {
+  Engine e;
+  e.spawn([](Engine& eng) -> Task<> {
+    co_await eng.delay(Time::ms(1));
+  }(e));
+  e.run();
+  const Time after_first = e.now();
+  e.spawn([](Engine& eng) -> Task<> {
+    co_await eng.delay(Time::ms(2));
+  }(e));
+  e.run();
+  EXPECT_EQ(e.now(), after_first + Time::ms(2));
+}
+
+TEST(EngineContracts, ScheduleInPastRejected) {
+  Engine e;
+  e.schedule_call(Time::ms(5), [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_call(Time::ms(1), [] {}),
+               hpccsim::ContractError);
+}
+
+}  // namespace
+}  // namespace hpccsim::sim

@@ -1,0 +1,141 @@
+// Tests for the HPCC program model: the funding table must reproduce the
+// paper's figures exactly, including the totals.
+#include <gtest/gtest.h>
+
+#include "hpcc/program.hpp"
+
+namespace hpccsim::hpcc {
+namespace {
+
+TEST(Funding, PaperTotalsExact) {
+  // "Total 654.8 / 802.9" (dollars in millions).
+  EXPECT_NEAR(total_fy1992(), 654.8, 1e-9);
+  EXPECT_NEAR(total_fy1993(), 802.9, 1e-9);
+}
+
+TEST(Funding, AgencyRowsMatchPaper) {
+  const auto& rows = funding_fy92_93();
+  ASSERT_EQ(rows.size(), 8u);
+  // Spot-check the paper's table verbatim.
+  EXPECT_EQ(rows[0].agency, Agency::DARPA);
+  EXPECT_DOUBLE_EQ(rows[0].fy1992_musd, 232.2);
+  EXPECT_DOUBLE_EQ(rows[0].fy1993_musd, 275.0);
+  EXPECT_EQ(rows[1].agency, Agency::NSF);
+  EXPECT_DOUBLE_EQ(rows[1].fy1992_musd, 200.9);
+  EXPECT_DOUBLE_EQ(rows[7].fy1993_musd, 4.1);  // DOC/NIST
+}
+
+TEST(Funding, RowsSortedDescendingFy92) {
+  const auto& rows = funding_fy92_93();
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    EXPECT_GE(rows[i - 1].fy1992_musd, rows[i].fy1992_musd);
+}
+
+TEST(Funding, GrowthComputation) {
+  // DARPA: 232.2 -> 275.0 is +18.4%.
+  EXPECT_NEAR(growth(funding_fy92_93()[0]), 0.1843, 1e-3);
+  // Program total: +22.6%.
+  EXPECT_NEAR(total_fy1993() / total_fy1992() - 1.0, 0.2262, 1e-3);
+}
+
+TEST(Funding, EveryAgencyGrewFy93) {
+  // 1992 was the program's first funded year; every agency grew in FY93.
+  for (const auto& b : funding_fy92_93()) EXPECT_GT(growth(b), 0.0);
+}
+
+TEST(Funding, TableReproducesPaperLayout) {
+  const Table t = funding_table();
+  EXPECT_EQ(t.rows(), 9u);  // 8 agencies + total
+  const std::string ascii = t.ascii();
+  EXPECT_NE(ascii.find("DARPA"), std::string::npos);
+  EXPECT_NE(ascii.find("232.2"), std::string::npos);
+  EXPECT_NE(ascii.find("HHS/NIH"), std::string::npos);
+  EXPECT_NE(ascii.find("654.8"), std::string::npos);
+  EXPECT_NE(ascii.find("802.9"), std::string::npos);
+}
+
+TEST(Components, SharesSumToOne) {
+  double total = 0;
+  for (const auto& s : component_shares_fy92()) total += s.share;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(component_shares_fy92().size(), 4u);
+}
+
+TEST(Components, NamesExpand) {
+  EXPECT_STREQ(component_name(Component::HPCS), "HPCS");
+  EXPECT_STREQ(component_full_name(Component::NREN),
+               "National Research and Education Network");
+}
+
+TEST(Responsibilities, AstaIsUniversal) {
+  // Every agency does computational research (ASTA) per the chart.
+  for (Agency a : kAllAgencies) EXPECT_TRUE(participates(a, Component::ASTA));
+}
+
+TEST(Responsibilities, HpcsIsSystemsAgencies) {
+  EXPECT_TRUE(participates(Agency::DARPA, Component::HPCS));
+  EXPECT_TRUE(participates(Agency::NASA, Component::HPCS));
+  EXPECT_FALSE(participates(Agency::EPA, Component::HPCS));
+  EXPECT_FALSE(participates(Agency::NOAA, Component::HPCS));
+}
+
+TEST(Responsibilities, TableShape) {
+  const Table t = responsibilities_table();
+  EXPECT_EQ(t.rows(), 8u);
+  EXPECT_EQ(t.columns(), 5u);  // agency + 4 components
+}
+
+TEST(Names, DisplayNamesMatchPaper) {
+  EXPECT_STREQ(agency_display_name(Agency::NIH), "HHS/NIH");
+  EXPECT_STREQ(agency_display_name(Agency::NOAA), "DOC/NOAA");
+  EXPECT_STREQ(agency_display_name(Agency::NIST), "DOC/NIST");
+  EXPECT_STREQ(agency_display_name(Agency::DARPA), "DARPA");
+}
+
+}  // namespace
+}  // namespace hpccsim::hpcc
+
+namespace hpccsim::hpcc {
+namespace {
+
+// ------------------------------------------------------ budget matrix --
+
+TEST(BudgetMatrix, RowsSumToAgencyBudgets) {
+  const auto cells = budget_matrix_fy92();
+  for (const auto& b : funding_fy92_93()) {
+    double row = 0.0;
+    for (const auto& c : cells)
+      if (c.agency == b.agency) row += c.musd;
+    EXPECT_NEAR(row, b.fy1992_musd, 1e-9);
+  }
+}
+
+TEST(BudgetMatrix, GrandTotalMatchesProgram) {
+  double grand = 0.0;
+  for (Component c : kAllComponents) grand += component_total_fy92(c);
+  EXPECT_NEAR(grand, total_fy1992(), 1e-9);
+}
+
+TEST(BudgetMatrix, RespectsParticipation) {
+  for (const auto& c : budget_matrix_fy92()) {
+    EXPECT_TRUE(participates(c.agency, c.component));
+    EXPECT_GT(c.musd, 0.0);
+  }
+}
+
+TEST(BudgetMatrix, AstaIsTheLargestComponent) {
+  // ASTA carries the largest share and every agency contributes to it.
+  const double asta = component_total_fy92(Component::ASTA);
+  for (Component c : {Component::HPCS, Component::NREN, Component::BRHR})
+    EXPECT_GT(asta, component_total_fy92(c));
+}
+
+TEST(BudgetMatrix, TableHasTotalsRowAndColumn) {
+  const Table t = budget_matrix_table();
+  EXPECT_EQ(t.rows(), 9u);     // 8 agencies + totals
+  EXPECT_EQ(t.columns(), 6u);  // agency + 4 components + total
+  EXPECT_NE(t.ascii().find("654.8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpccsim::hpcc

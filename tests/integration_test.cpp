@@ -1,0 +1,178 @@
+// Integration tests: cross-module scenarios that exercise the whole
+// stack together — multiple algorithms on one machine, tracing during a
+// real workload, machine presets driving the solvers, end-to-end
+// determinism of full experiments, and the memory model gating problem
+// sizes.
+#include <gtest/gtest.h>
+
+#include "linalg/cg.hpp"
+#include "linalg/distlu.hpp"
+#include "linalg/fft.hpp"
+#include "linalg/summa.hpp"
+#include "nx/collectives.hpp"
+#include "nx/machine_runtime.hpp"
+#include "proc/machine.hpp"
+#include "sched/batch.hpp"
+#include "wan/consortium.hpp"
+#include "wan/flows.hpp"
+
+namespace hpccsim {
+namespace {
+
+using linalg::ExecMode;
+using linalg::ProcessGrid;
+using sim::Task;
+using sim::Time;
+
+TEST(Integration, SequentialWorkloadsOnOneMachine) {
+  // LU, then SUMMA, then CG on the same NxMachine instance: time
+  // accumulates, state does not leak between runs.
+  proc::MachineConfig mc = proc::touchstone_delta();
+  mc.mesh_width = 2;
+  mc.mesh_height = 2;
+  nx::NxMachine machine(mc);
+
+  linalg::LuConfig lu = linalg::lu_config_for(machine, 48, 8,
+                                              ExecMode::Numeric);
+  const auto lu_res = linalg::run_distributed_lu(machine, lu);
+  ASSERT_TRUE(lu_res.residual.has_value());
+  EXPECT_LT(*lu_res.residual, 50.0);
+  const Time after_lu = machine.engine().now();
+
+  linalg::SummaConfig sm;
+  sm.n = 32;
+  sm.kb = 8;
+  sm.grid = ProcessGrid{2, 2};
+  const auto sm_res = linalg::run_summa(machine, sm);
+  ASSERT_TRUE(sm_res.error.has_value());
+  EXPECT_LT(*sm_res.error, 1e-12);
+  EXPECT_GT(machine.engine().now(), after_lu);  // clock kept advancing
+
+  linalg::CgConfig cg;
+  cg.grid_n = 16;
+  cg.grid = ProcessGrid{2, 2};
+  const auto cg_res = linalg::run_distributed_cg(machine, cg);
+  EXPECT_TRUE(cg_res.converged);
+}
+
+TEST(Integration, TraceCoversWholeLuSchedule) {
+  proc::MachineConfig mc = proc::touchstone_delta();
+  mc.mesh_width = 2;
+  mc.mesh_height = 2;
+  nx::NxMachine machine(mc);
+  machine.enable_message_trace();
+  linalg::LuConfig lu = linalg::lu_config_for(machine, 32, 8,
+                                              ExecMode::Modeled);
+  const auto res = linalg::run_distributed_lu(machine, lu);
+  // Every counted send appears in the trace, with sane fields.
+  EXPECT_EQ(machine.message_trace().size(), res.messages);
+  for (const auto& r : machine.message_trace()) {
+    EXPECT_GE(r.src, 0);
+    EXPECT_LT(r.src, 4);
+    EXPECT_GE(r.dst, 0);
+    EXPECT_LT(r.dst, 4);
+    EXPECT_LE(r.depart, r.arrive);
+  }
+}
+
+TEST(Integration, FullExperimentIsDeterministic) {
+  auto run_once = [] {
+    nx::NxMachine machine(proc::touchstone_delta().with_nodes(16));
+    linalg::LuConfig lu = linalg::lu_config_for(machine, 512, 32);
+    const auto r = linalg::run_distributed_lu(machine, lu);
+    return std::tuple(r.elapsed, r.messages, r.bytes_moved);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Integration, ModeledLuRespectsMachineGenerations) {
+  // The same problem must run fastest on Paragon, slower on the Delta,
+  // slowest on the iPSC/860 — at the same node count.
+  auto gflops_on = [](const proc::MachineConfig& base) {
+    const proc::MachineConfig mc = base.with_nodes(64);
+    nx::NxMachine machine(mc);
+    linalg::LuConfig lu = linalg::lu_config_for(machine, 4000, 64);
+    return linalg::run_distributed_lu(machine, lu).gflops;
+  };
+  const double gamma = gflops_on(proc::ipsc860());
+  const double delta = gflops_on(proc::touchstone_delta());
+  const double paragon = gflops_on(proc::paragon());
+  EXPECT_LT(gamma, delta);
+  EXPECT_LT(delta, paragon);
+}
+
+TEST(Integration, LinpackOrderBeyondMemoryStillSimulates) {
+  // The simulator can model an order the machine could not hold (useful
+  // for what-ifs); the memory model flags it.
+  const proc::MachineConfig mc = proc::touchstone_delta().with_nodes(16);
+  EXPECT_FALSE(mc.lu_order_fits(25000));
+  nx::NxMachine machine(mc);
+  linalg::LuConfig lu = linalg::lu_config_for(machine, 5000, 64);
+  EXPECT_TRUE(mc.lu_order_fits(4400));
+  const auto r = linalg::run_distributed_lu(machine, lu);
+  EXPECT_GT(r.gflops, 0.0);
+}
+
+TEST(Integration, SchedulerFeedsSimulatedJobDurations) {
+  // Close the loop: measure a modeled LU's duration, then schedule a day
+  // of such jobs — the batch layer consumes what the machine layer
+  // produces.
+  nx::NxMachine machine(proc::touchstone_delta().with_nodes(64));
+  linalg::LuConfig lu = linalg::lu_config_for(machine, 2000, 64);
+  const Time lu_time = linalg::run_distributed_lu(machine, lu).elapsed;
+
+  sched::BatchSimulator sim(mesh::Mesh2D(8, 8),
+                            sched::SchedulePolicy::EasyBackfill);
+  for (int i = 0; i < 10; ++i) {
+    sched::Job j;
+    j.name = "lu" + std::to_string(i);
+    j.nodes = 64;
+    j.runtime = lu_time;
+    j.submit = Time::zero();  // all queued at once
+    sim.submit(std::move(j));
+  }
+  const auto res = sim.run();
+  // Full-machine jobs run strictly back to back: makespan is exactly
+  // ten LU durations and the machine never idles.
+  EXPECT_NEAR(res.makespan.as_sec(), 10.0 * lu_time.as_sec(),
+              lu_time.as_sec() * 0.01);
+  EXPECT_GT(res.utilization, 0.99);
+}
+
+TEST(Integration, WanMovesWhatTheMachineProduces) {
+  // An n=2000 LU result (2000^2 doubles = 32 MB) shipped to Rice takes
+  // minutes on the 1992 network — longer than computing it took.
+  nx::NxMachine machine(proc::touchstone_delta());
+  linalg::LuConfig lu = linalg::lu_config_for(machine, 2000, 64);
+  const Time compute = linalg::run_distributed_lu(machine, lu).elapsed;
+
+  const wan::Wan net = wan::consortium_network();
+  const auto xfer = net.transfer(net.site_by_name("Caltech-Delta"),
+                                 net.site_by_name("CRPC-Rice"),
+                                 2000ull * 2000 * 8);
+  ASSERT_TRUE(xfer.has_value());
+  EXPECT_GT(xfer->duration, compute);  // the 1992 network is the bottleneck
+}
+
+TEST(Integration, CollectivesComposeWithSolvers) {
+  // A program that mixes raw collectives with a library solver call
+  // path: allreduce a checksum of the CG iteration count.
+  nx::NxMachine machine(proc::touchstone_delta().with_nodes(4));
+  linalg::CgConfig cg;
+  cg.grid_n = 12;
+  cg.grid = ProcessGrid{2, 2};
+  const auto r = linalg::run_distributed_cg(machine, cg);
+  ASSERT_TRUE(r.converged);
+
+  std::vector<double> counts(4);
+  machine.run([&counts, iters = r.iterations](nx::NxContext& ctx) -> Task<> {
+    nx::Message m =
+        co_await nx::allreduce(ctx, nx::Group::world(ctx), nx::ReduceOp::Sum,
+                               8, nx::payload_of(double(iters)));
+    counts[static_cast<std::size_t>(ctx.rank())] = m.values().at(0);
+  });
+  for (const double c : counts) EXPECT_EQ(c, 4.0 * r.iterations);
+}
+
+}  // namespace
+}  // namespace hpccsim

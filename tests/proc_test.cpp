@@ -1,0 +1,198 @@
+// Tests for the proc module: kernel flop counts, timing monotonicity,
+// and the machine presets' calibration against the paper's numbers.
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "proc/kernel_model.hpp"
+#include "proc/machine.hpp"
+
+namespace hpccsim::proc {
+namespace {
+
+TEST(KernelFlops, MatchesTextbookCounts) {
+  EXPECT_EQ(kernel_flops(Kernel::Gemm, 10, 20, 30), 2u * 10 * 20 * 30);
+  EXPECT_EQ(kernel_flops(Kernel::Axpy, 100, 0, 0), 200u);
+  EXPECT_EQ(kernel_flops(Kernel::Dot, 100, 0, 0), 200u);
+  EXPECT_EQ(kernel_flops(Kernel::Scal, 100, 0, 0), 100u);
+  EXPECT_EQ(kernel_flops(Kernel::Swap, 100, 0, 0), 0u);
+  EXPECT_EQ(kernel_flops(Kernel::Stencil, 10, 10, 0), 500u);
+}
+
+TEST(KernelFlops, Getf2MatchesRankOneSum) {
+  // LU of an m x n panel: sum over j of (m-j-1) scaled + rank-1 of
+  // (m-j-1)x(n-j-1); the closed form n^2(3m-n)/3 should be close.
+  const std::int64_t m = 64, n = 16;
+  const Flops closed = kernel_flops(Kernel::Getf2, m, n, 0);
+  Flops loop = 0;
+  for (std::int64_t j = 0; j < n; ++j)
+    loop += static_cast<Flops>((m - j - 1) + 2 * (m - j - 1) * (n - j - 1));
+  const double rel = std::abs(static_cast<double>(closed) -
+                              static_cast<double>(loop)) /
+                     static_cast<double>(loop);
+  EXPECT_LT(rel, 0.15);
+}
+
+TEST(NodeModel, GemmTimeScalesWithWork) {
+  const NodeModel m;
+  const auto t1 = m.time_for(Kernel::Gemm, 64, 64, 64);
+  const auto t2 = m.time_for(Kernel::Gemm, 128, 128, 128);
+  // 8x the flops, same startup: between 7x and 8x the time.
+  const double ratio = t2.as_us() / t1.as_us();
+  EXPECT_GT(ratio, 6.5);
+  EXPECT_LT(ratio, 8.5);
+}
+
+TEST(NodeModel, SustainedRateBelowPeak) {
+  const NodeModel m;
+  for (Kernel k : {Kernel::Gemm, Kernel::Trsm, Kernel::Getf2, Kernel::Axpy}) {
+    const auto rate = m.sustained(k, 256, 256, 256);
+    EXPECT_LT(rate.flops_per_sec(), m.peak.flops_per_sec());
+    EXPECT_GT(rate.flops_per_sec(), 0.0);
+  }
+}
+
+TEST(NodeModel, GemmFasterThanVectorKernelsPerFlop) {
+  const NodeModel m;
+  EXPECT_GT(m.sustained(Kernel::Gemm, 512, 512, 512).mflops(),
+            m.sustained(Kernel::Axpy, 512 * 512, 0, 0).mflops());
+}
+
+TEST(NodeModel, StartupDominatesTinyKernels) {
+  const NodeModel m;
+  const auto t = m.time_for(Kernel::Axpy, 1, 0, 0);
+  EXPECT_GE(t, m.kernel_startup);
+  EXPECT_LT(t.as_us(), m.kernel_startup.as_us() + 1.0);
+}
+
+TEST(NodeModel, CopySwapAreMemoryBound) {
+  const NodeModel m;
+  // 1 M elements * 16 bytes at 64 MB/s = 250 ms plus startup.
+  const auto t = m.time_for(Kernel::Copy, 1'000'000, 0, 0);
+  EXPECT_NEAR(t.as_ms(), 250.0, 1.0);
+}
+
+// ------------------------------------------------------------ machines --
+
+TEST(Machines, DeltaMatchesPaperPeak) {
+  const MachineConfig delta = touchstone_delta();
+  EXPECT_EQ(delta.node_count(), 528);
+  // "PEAK SPEED OF 32 GFLOPS USING THE 528 NUMERIC PROCESSORS"
+  EXPECT_NEAR(delta.machine_peak().gflops(), 32.0, 0.1);
+}
+
+TEST(Machines, DeltaNodeIsI860Class) {
+  const MachineConfig delta = touchstone_delta();
+  EXPECT_NEAR(delta.node.peak.mflops(), 60.6, 0.1);
+  // Hand-coded dgemm on the i860 sustained roughly half of peak.
+  const auto dgemm = delta.node.sustained(Kernel::Gemm, 512, 512, 64);
+  EXPECT_GT(dgemm.mflops(), 25.0);
+  EXPECT_LT(dgemm.mflops(), 40.0);
+}
+
+TEST(Machines, Ipsc860IsSmallerAndSlowerNet) {
+  const MachineConfig g = ipsc860();
+  const MachineConfig d = touchstone_delta();
+  EXPECT_EQ(g.node_count(), 128);
+  EXPECT_LT(g.net.channel_bw.bytes_per_sec(), d.net.channel_bw.bytes_per_sec());
+  EXPECT_GT(g.send_overhead, d.send_overhead);
+}
+
+TEST(Machines, WithNodesFactorsNearSquare) {
+  const MachineConfig d = touchstone_delta();
+  for (int n : {16, 64, 128, 256, 528}) {
+    const MachineConfig s = d.with_nodes(n);
+    EXPECT_EQ(s.node_count(), n);
+    EXPECT_LE(s.mesh_height, s.mesh_width);
+  }
+  EXPECT_EQ(d.with_nodes(64).mesh_width, 8);
+  EXPECT_EQ(d.with_nodes(64).mesh_height, 8);
+}
+
+TEST(Machines, ByNameAndAliases) {
+  EXPECT_EQ(machine_by_name("delta").name, "touchstone-delta");
+  EXPECT_EQ(machine_by_name("gamma").name, "ipsc860");
+  EXPECT_EQ(machine_by_name("i860").node_count(), 1);
+  EXPECT_THROW(machine_by_name("cray"), std::invalid_argument);
+}
+
+TEST(Machines, MeshMatchesConfiguredShape) {
+  const MachineConfig d = touchstone_delta();
+  const auto m = d.mesh();
+  EXPECT_EQ(m.width(), 33);
+  EXPECT_EQ(m.height(), 16);
+}
+
+}  // namespace
+}  // namespace hpccsim::proc
+
+namespace hpccsim::proc {
+namespace {
+
+// ------------------------------------------------------------- memory --
+
+TEST(Memory, DeltaNodeCarries16MiB) {
+  const MachineConfig d = touchstone_delta();
+  EXPECT_EQ(d.node.memory, 16 * MiB);
+  EXPECT_EQ(d.machine_memory(), 528ull * 16 * MiB);
+}
+
+TEST(Memory, PaperLinpackOrderIsTheMemoryBound) {
+  // 25000^2 * 8 B = 5.0 GB of matrix against 8.25 GiB of machine memory:
+  // the published order sits just inside the usable-memory bound.
+  const MachineConfig d = touchstone_delta();
+  EXPECT_TRUE(d.lu_order_fits(25000));
+  EXPECT_FALSE(d.lu_order_fits(30000));
+  const std::int64_t max = d.max_lu_order();
+  EXPECT_GT(max, 25000);
+  EXPECT_LT(max, 27000);
+}
+
+TEST(Memory, SmallerMachinesFitSmallerProblems) {
+  const MachineConfig d = touchstone_delta();
+  EXPECT_LT(d.with_nodes(64).max_lu_order(), d.max_lu_order());
+  // Scaling as sqrt(nodes): 528/64 ratio in orders ~ sqrt(8.25) ~ 2.87.
+  const double ratio = static_cast<double>(d.max_lu_order()) /
+                       static_cast<double>(d.with_nodes(64).max_lu_order());
+  EXPECT_NEAR(ratio, std::sqrt(528.0 / 64.0), 0.05);
+}
+
+TEST(Memory, UsableFractionValidation) {
+  const MachineConfig d = touchstone_delta();
+  EXPECT_THROW(d.max_lu_order(0.0), ContractError);
+  EXPECT_THROW(d.max_lu_order(1.5), ContractError);
+  EXPECT_GT(d.max_lu_order(1.0), d.max_lu_order(0.3));
+}
+
+}  // namespace
+}  // namespace hpccsim::proc
+
+namespace hpccsim::proc {
+namespace {
+
+TEST(Machines, ParagonIsTheSuccessor) {
+  const MachineConfig p = paragon();
+  const MachineConfig d = touchstone_delta();
+  EXPECT_EQ(p.node_count(), 1024);
+  // Faster nodes, more memory, much faster links than the Delta.
+  EXPECT_GT(p.node.peak.mflops(), d.node.peak.mflops());
+  EXPECT_GT(p.node.memory, d.node.memory);
+  EXPECT_GT(p.net.channel_bw.bytes_per_sec(),
+            d.net.channel_bw.bytes_per_sec());
+  EXPECT_LT(p.send_overhead, d.send_overhead);
+  // ~77 GFLOPS peak at 1024 nodes.
+  EXPECT_NEAR(p.machine_peak().gflops(), 76.8, 0.5);
+  EXPECT_EQ(machine_by_name("paragon").name, "paragon-xps");
+}
+
+TEST(Machines, SeriesOrderingHoldsAcrossGenerations) {
+  // "one of a series": per-node LINPACK-relevant capability must be
+  // monotone iPSC/860 -> Delta -> Paragon.
+  const MachineConfig g = ipsc860(), d = touchstone_delta(), p = paragon();
+  EXPECT_LT(g.net.channel_bw.bytes_per_sec(), d.net.channel_bw.bytes_per_sec());
+  EXPECT_LT(d.net.channel_bw.bytes_per_sec(), p.net.channel_bw.bytes_per_sec());
+  EXPECT_GE(g.send_overhead, d.send_overhead);
+  EXPECT_GE(d.send_overhead, p.send_overhead);
+}
+
+}  // namespace
+}  // namespace hpccsim::proc
