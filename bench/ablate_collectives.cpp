@@ -12,6 +12,7 @@
 #include "nx/machine_runtime.hpp"
 #include "proc/machine.hpp"
 #include "util/cli.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
   ArgParser args("ablate_collectives",
                  "collective algorithms on the 528-node Delta");
   args.add_option("nodes", "node count (0 = full machine)", "0");
+  args.add_jobs_option();
   args.add_flag("csv", "emit CSV");
   try {
     args.parse(argc, argv);
@@ -68,21 +70,41 @@ int main(int argc, char** argv) {
 
   const std::vector<Bytes> sizes{8, 1024, 65536, 1048576};
 
+  // Flatten every (size, collective, algorithm) measurement across both
+  // tables into one parallel_for — each is an independent simulated
+  // machine — then assemble the tables in order after the join.
+  struct Cell {
+    bool allreduce;
+    CollectiveAlgo algo;
+  };
+  const std::vector<Cell> kinds{{false, CollectiveAlgo::Binomial},
+                                {false, CollectiveAlgo::Ring},
+                                {false, CollectiveAlgo::Flat},
+                                {true, CollectiveAlgo::Binomial},
+                                {true, CollectiveAlgo::Ring}};
+  std::vector<double> us(sizes.size() * kinds.size());
+  parallel_for(us.size(), args.jobs(), [&](std::size_t i) {
+    const Bytes b = sizes[i / kinds.size()];
+    const Cell& k = kinds[i % kinds.size()];
+    us[i] = k.allreduce ? time_allreduce(mc, b, k.algo)
+                        : time_bcast(mc, b, k.algo);
+  });
+  const auto at = [&](std::size_t size_idx, std::size_t kind_idx) {
+    return Table::num(us[size_idx * kinds.size() + kind_idx], 0);
+  };
+
   Table tb({"bytes", "bcast binomial (us)", "bcast ring (us)",
             "bcast flat (us)"});
-  for (const Bytes b : sizes) {
-    tb.add_row({Table::integer(static_cast<std::int64_t>(b)),
-                Table::num(time_bcast(mc, b, CollectiveAlgo::Binomial), 0),
-                Table::num(time_bcast(mc, b, CollectiveAlgo::Ring), 0),
-                Table::num(time_bcast(mc, b, CollectiveAlgo::Flat), 0)});
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    tb.add_row({Table::integer(static_cast<std::int64_t>(sizes[s])),
+                at(s, 0), at(s, 1), at(s, 2)});
   }
   std::printf("%s\n", args.flag("csv") ? tb.csv().c_str() : tb.ascii().c_str());
 
   Table ta({"bytes", "allreduce binomial (us)", "allreduce ring (us)"});
-  for (const Bytes b : sizes) {
-    ta.add_row({Table::integer(static_cast<std::int64_t>(b)),
-                Table::num(time_allreduce(mc, b, CollectiveAlgo::Binomial), 0),
-                Table::num(time_allreduce(mc, b, CollectiveAlgo::Ring), 0)});
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    ta.add_row({Table::integer(static_cast<std::int64_t>(sizes[s])),
+                at(s, 3), at(s, 4)});
   }
   std::printf("%s\n", args.flag("csv") ? ta.csv().c_str() : ta.ascii().c_str());
   std::printf("expected: binomial wins across the board at P=528 (log2(P) "

@@ -12,6 +12,7 @@
 #include "linalg/distlu.hpp"
 #include "proc/machine.hpp"
 #include "util/cli.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -30,6 +31,7 @@ double run_gflops(const proc::MachineConfig& mc, nx::NetKind net,
 int main(int argc, char** argv) {
   ArgParser args("ablate_network", "interconnect ablation for the LU run");
   args.add_option("n", "problem orders", "5000,15000,25000");
+  args.add_jobs_option();
   args.add_flag("csv", "emit CSV");
   try {
     args.parse(argc, argv);
@@ -70,10 +72,18 @@ int main(int argc, char** argv) {
   for (const auto n : orders)
     header.push_back("GFLOPS @ n=" + std::to_string(n));
   Table t(std::move(header));
-  for (const auto& v : variants) {
-    std::vector<std::string> row{v.name};
-    for (const auto n : orders)
-      row.push_back(Table::num(run_gflops(v.mc, v.net, n), 2));
+  // Every (variant, n) cell is an independent LU simulation: flatten the
+  // grid into one parallel_for and assemble rows after the join.
+  const std::size_t n_variants = std::size(variants);
+  std::vector<double> cells(n_variants * orders.size());
+  parallel_for(cells.size(), args.jobs(), [&](std::size_t i) {
+    const Variant& v = variants[i / orders.size()];
+    cells[i] = run_gflops(v.mc, v.net, orders[i % orders.size()]);
+  });
+  for (std::size_t vi = 0; vi < n_variants; ++vi) {
+    std::vector<std::string> row{variants[vi].name};
+    for (std::size_t oi = 0; oi < orders.size(); ++oi)
+      row.push_back(Table::num(cells[vi * orders.size() + oi], 2));
     t.add_row(std::move(row));
   }
   std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());

@@ -11,6 +11,7 @@
 #include "linalg/cg.hpp"
 #include "proc/machine.hpp"
 #include "util/cli.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   args.add_option("grid", "unknowns per side at 16 nodes (weak-scaled up)",
                   "512");
   args.add_option("iters", "modeled iterations per point", "100");
+  args.add_jobs_option();
   args.add_flag("csv", "emit CSV");
   try {
     args.parse(argc, argv);
@@ -36,7 +38,12 @@ int main(int argc, char** argv) {
            "msgs/iter"});
   const std::int64_t base_grid = args.integer("grid");
   const auto iters = static_cast<std::int32_t>(args.integer("iters"));
-  for (const int nodes : {16, 64, 256, 528}) {
+  // One independent simulated machine per node count: run the sweep
+  // points in parallel, render rows in order after the join.
+  const std::vector<int> node_counts{16, 64, 256, 528};
+  std::vector<std::vector<std::string>> rows(node_counts.size());
+  parallel_for(node_counts.size(), args.jobs(), [&](std::size_t i) {
+    const int nodes = node_counts[i];
     const proc::MachineConfig mc = proc::touchstone_delta().with_nodes(nodes);
     nx::NxMachine machine(mc);
     linalg::CgConfig cfg;
@@ -48,14 +55,15 @@ int main(int argc, char** argv) {
     cfg.numeric = false;
     cfg.modeled_iters = iters;
     const linalg::CgResult r = linalg::run_distributed_cg(machine, cfg);
-    t.add_row({Table::integer(nodes), Table::integer(cfg.grid_n),
+    rows[i] = {Table::integer(nodes), Table::integer(cfg.grid_n),
                Table::num(r.per_iteration().as_us(), 1),
                Table::integer(static_cast<std::int64_t>(
                    r.bytes_moved / static_cast<Bytes>(iters) /
                    static_cast<Bytes>(nodes))),
                Table::integer(static_cast<std::int64_t>(
-                   r.messages / static_cast<std::uint64_t>(iters)))});
-  }
+                   r.messages / static_cast<std::uint64_t>(iters)))};
+  });
+  for (auto& row : rows) t.add_row(std::move(row));
   std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());
   std::printf("expected: per-iteration time grows slowly with node count "
               "under weak scaling — the log(P) allreduce critical path, "

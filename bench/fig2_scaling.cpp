@@ -13,36 +13,26 @@
 #include "linalg/distlu.hpp"
 #include "proc/machine.hpp"
 #include "util/cli.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace hpccsim;
 
-void sweep(const proc::MachineConfig& base, bool strong, std::int64_t n_base,
-           Table& t) {
-  const std::vector<int> node_counts{16, 32, 64, 128, 264, 528};
-  double gflops_per_node_at_16 = 0.0;
-  for (const int nodes : node_counts) {
-    const proc::MachineConfig mc = base.with_nodes(nodes);
-    nx::NxMachine machine(mc);
-    // Weak-ish scaling: keep local matrix volume constant -> n ~ sqrt(P).
-    const std::int64_t n =
-        strong ? n_base
-               : static_cast<std::int64_t>(
-                     static_cast<double>(n_base) *
-                     std::sqrt(static_cast<double>(nodes) / 16.0));
-    linalg::LuConfig cfg = linalg::lu_config_for(machine, n, 64);
-    const linalg::LuResult r = linalg::run_distributed_lu(machine, cfg);
-    const double per_node = r.gflops / nodes;
-    if (nodes == 16) gflops_per_node_at_16 = per_node;
-    t.add_row({base.name, strong ? "strong" : "weak",
-               Table::integer(nodes), Table::integer(n),
-               Table::num(r.gflops, 2),
-               Table::num(per_node * 1000.0, 1),
-               Table::num(per_node / gflops_per_node_at_16 * 100.0, 1)});
-  }
-}
+constexpr int kNodeCounts[] = {16, 32, 64, 128, 264, 528};
+constexpr std::size_t kPointsPerSweep = std::size(kNodeCounts);
+
+struct Sweep {
+  proc::MachineConfig base;
+  bool strong;
+  std::int64_t n_base;
+};
+
+struct PointResult {
+  std::int64_t n = 0;
+  double gflops = 0.0;
+};
 
 }  // namespace
 
@@ -51,6 +41,7 @@ int main(int argc, char** argv) {
                  "LINPACK scaling across the Touchstone series");
   args.add_option("n", "base problem order (at 16 nodes for weak scaling)",
                   "4000");
+  args.add_jobs_option();
   args.add_flag("csv", "emit CSV");
   try {
     args.parse(argc, argv);
@@ -65,12 +56,53 @@ int main(int argc, char** argv) {
 
   const std::int64_t n_base = args.integer("n");
   std::printf("== F2: scaling of the DARPA Touchstone series ==\n");
+
+  const Sweep sweeps[] = {
+      {proc::touchstone_delta(), /*strong=*/false, n_base},
+      {proc::touchstone_delta(), /*strong=*/true, 4 * n_base},
+      {proc::ipsc860(), /*strong=*/false, n_base},
+      {proc::paragon(), /*strong=*/false, n_base},
+  };
+
+  // Every (sweep, node count) point is an independent simulation; run
+  // them all through one parallel_for and render afterwards. The
+  // efficiency column normalizes each sweep against its own 16-node
+  // row, so raw GFLOPS must be collected before any row can be printed.
+  const std::size_t total = std::size(sweeps) * kPointsPerSweep;
+  std::vector<PointResult> results(total);
+  parallel_for(total, args.jobs(), [&](std::size_t i) {
+    const Sweep& sw = sweeps[i / kPointsPerSweep];
+    const int nodes = kNodeCounts[i % kPointsPerSweep];
+    const proc::MachineConfig mc = sw.base.with_nodes(nodes);
+    nx::NxMachine machine(mc);
+    // Weak-ish scaling: keep local matrix volume constant -> n ~ sqrt(P).
+    const std::int64_t n =
+        sw.strong ? sw.n_base
+                  : static_cast<std::int64_t>(
+                        static_cast<double>(sw.n_base) *
+                        std::sqrt(static_cast<double>(nodes) / 16.0));
+    linalg::LuConfig cfg = linalg::lu_config_for(machine, n, 64);
+    const linalg::LuResult r = linalg::run_distributed_lu(machine, cfg);
+    results[i] = {n, r.gflops};
+  });
+
   Table t({"machine", "mode", "nodes", "n", "GFLOPS", "MFLOPS/node",
            "efficiency vs 16 (%)"});
-  sweep(proc::touchstone_delta(), /*strong=*/false, n_base, t);
-  sweep(proc::touchstone_delta(), /*strong=*/true, 4 * n_base, t);
-  sweep(proc::ipsc860(), /*strong=*/false, n_base, t);
-  sweep(proc::paragon(), /*strong=*/false, n_base, t);
+  for (std::size_t s = 0; s < std::size(sweeps); ++s) {
+    const Sweep& sw = sweeps[s];
+    const double per_node_at_16 =
+        results[s * kPointsPerSweep].gflops / kNodeCounts[0];
+    for (std::size_t p = 0; p < kPointsPerSweep; ++p) {
+      const PointResult& r = results[s * kPointsPerSweep + p];
+      const int nodes = kNodeCounts[p];
+      const double per_node = r.gflops / nodes;
+      t.add_row({sw.base.name, sw.strong ? "strong" : "weak",
+                 Table::integer(nodes), Table::integer(r.n),
+                 Table::num(r.gflops, 2),
+                 Table::num(per_node * 1000.0, 1),
+                 Table::num(per_node / per_node_at_16 * 100.0, 1)});
+    }
+  }
   std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());
   std::printf("expected shape: weak scaling holds efficiency high to 528 "
               "nodes on the Delta; strong scaling at fixed n decays; the "

@@ -76,6 +76,75 @@ void BM_engine_events(benchmark::State& state) {
 }
 BENCHMARK(BM_engine_events);
 
+void BM_queue_push_pop(benchmark::State& state) {
+  // Raw event-queue cost at a sustained queue depth: fill to `depth`
+  // callbacks spread over a microsecond-scale window (the flit/kernel
+  // clustering regime), then drain. One engine per iteration batch so
+  // queue internals (pools, buckets) stay warm across iterations.
+  const int depth = static_cast<int>(state.range(0));
+  sim::Engine e;
+  for (auto _ : state) {
+    for (int i = 0; i < depth; ++i)
+      e.schedule_call(e.now() + sim::Time::ns(10 * (i % 997)), [] {});
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_queue_push_pop)->Arg(1000)->Arg(100000);
+
+void BM_schedule_call_small_capture(benchmark::State& state) {
+  // The flit-router shape: a lambda capturing a couple of pointers
+  // (<= 48 bytes). This path must not heap-allocate.
+  sim::Engine e;
+  std::uint64_t sink = 0;
+  std::uint64_t* p = &sink;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i)
+      e.schedule_call(e.now() + sim::Time::ns(i % 257),
+                      [p, i] { *p += static_cast<std::uint64_t>(i); });
+    e.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_schedule_call_small_capture);
+
+void BM_schedule_call_large_capture(benchmark::State& state) {
+  // Oversized capture (> 48 bytes): allowed to fall back to the heap.
+  sim::Engine e;
+  std::uint64_t sink = 0;
+  struct Big {
+    std::uint64_t v[8];
+  };
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      Big big{};
+      big.v[0] = static_cast<std::uint64_t>(i);
+      e.schedule_call(e.now() + sim::Time::ns(i % 257),
+                      [&sink, big] { sink += big.v[0]; });
+    }
+    e.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_schedule_call_large_capture);
+
+void BM_coroutine_spawn_join(benchmark::State& state) {
+  // Root-process churn: frame allocation, one suspension, completion.
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int i = 0; i < 1000; ++i) {
+      e.spawn([](sim::Engine& eng) -> sim::Task<> {
+        co_await eng.delay(sim::Time::ns(5));
+      }(e));
+    }
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_coroutine_spawn_join);
+
 void BM_coroutine_pingpong(benchmark::State& state) {
   // Round-trip cost of two processes exchanging through a trigger chain.
   for (auto _ : state) {

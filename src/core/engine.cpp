@@ -9,32 +9,27 @@ void Trigger::fire() {
   fired_ = true;
   // Release through the event queue (at the current instant) rather than
   // resuming inline: keeps the execution stack flat and the event order
-  // a single deterministic stream.
-  for (auto h : waiters_) engine_->schedule(engine_->now(), h);
-  waiters_.clear();
+  // a single deterministic stream. The waiter vector is move-swapped out
+  // first so a waiter that re-arms (or a wait() racing the fire) never
+  // invalidates the iteration, and its capacity is recycled afterwards.
+  std::vector<std::coroutine_handle<>> firing;
+  firing.swap(waiters_);
+  for (auto h : firing) engine_->schedule(engine_->now(), h);
+  firing.clear();
+  if (waiters_.empty()) waiters_.swap(firing);
 }
 
 Engine::~Engine() {
-  // Drop pending events first (they reference coroutine frames), then
-  // destroy root frames. Child Task frames are owned by their parents'
-  // stack frames inside the root coroutine, so destroying the root frame
-  // unwinds the whole tree.
-  while (!queue_.empty()) queue_.pop();
+  // Drop pending events first (callback captures may reference coroutine
+  // frames), then destroy root frames. Child Task frames are owned by
+  // their parents' stack frames inside the root coroutine, so destroying
+  // the root frame unwinds the whole tree.
+  queue_.clear();
+  call_slots_.clear();
+  free_slots_.clear();
   for (auto& r : roots_) {
     if (r->frame) r->frame.destroy();
   }
-}
-
-void Engine::schedule(Time when, std::coroutine_handle<> h) {
-  HPCCSIM_EXPECTS(when >= now_);
-  HPCCSIM_EXPECTS(h != nullptr);
-  queue_.push(Event{when, next_seq_++, h, {}});
-}
-
-void Engine::schedule_call(Time when, std::function<void()> fn) {
-  HPCCSIM_EXPECTS(when >= now_);
-  HPCCSIM_EXPECTS(fn != nullptr);
-  queue_.push(Event{when, next_seq_++, {}, std::move(fn)});
 }
 
 void Engine::RootCoro::promise_type::unhandled_exception() {
@@ -63,7 +58,8 @@ ProcessId Engine::spawn(Task<void> task, std::string name) {
 }
 
 bool Engine::finished(ProcessId pid) const {
-  return roots_.at(pid.index)->finished;
+  HPCCSIM_EXPECTS(pid.index < roots_.size());
+  return roots_[pid.index]->finished;
 }
 
 std::size_t Engine::live_process_count() const {
@@ -73,13 +69,20 @@ std::size_t Engine::live_process_count() const {
   return n;
 }
 
-void Engine::dispatch(Event& ev) {
-  now_ = ev.when;
+void Engine::dispatch(const detail::QEvent& ev) {
+  now_ = Time::ps(ev.when);
   ++events_processed_;
-  if (ev.handle) {
-    ev.handle.resume();
+  if (ev.payload & 1) {
+    const auto slot = static_cast<std::uint32_t>(ev.payload >> 1);
+    // Move the callback out before invoking it: the body may itself
+    // schedule_call, which can reuse or grow the slot pool.
+    Callback fn = std::move(call_slots_[slot]);
+    free_slots_.push_back(slot);
+    fn();
   } else {
-    ev.fn();
+    std::coroutine_handle<>::from_address(
+        reinterpret_cast<void*>(ev.payload))
+        .resume();
   }
 }
 
@@ -96,8 +99,7 @@ void Engine::check_errors() {
 std::uint64_t Engine::run() {
   const std::uint64_t start = events_processed_;
   while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
+    const detail::QEvent ev = queue_.pop();
     dispatch(ev);
     check_errors();
     if (max_events_ && events_processed_ - start >= max_events_)
@@ -116,9 +118,8 @@ std::uint64_t Engine::run() {
 
 std::uint64_t Engine::run_until(Time stop) {
   const std::uint64_t start = events_processed_;
-  while (!queue_.empty() && queue_.top().when <= stop) {
-    Event ev = queue_.top();
-    queue_.pop();
+  while (!queue_.empty() && queue_.top().when <= stop.picoseconds()) {
+    const detail::QEvent ev = queue_.pop();
     dispatch(ev);
     check_errors();
     if (max_events_ && events_processed_ - start >= max_events_)

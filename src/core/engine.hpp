@@ -6,18 +6,29 @@
 // (Task<void>) that suspend on awaitables (delay, Trigger, Channel) and
 // are resumed by the engine.
 //
-// The host machine has one core; determinism plus coroutines gives us
-// hundreds of virtual processors with zero data races by construction.
+// One Engine per host thread; engines are not thread-safe and never need
+// to be — determinism plus coroutines gives us hundreds of virtual
+// processors with zero data races by construction, and sweeps scale by
+// running independent engines on independent threads (util/parallel.hpp).
+//
+// Hot-path design (see docs/PERF.md for measurements):
+//   - pending events are 24-byte PODs in a two-tier bucket queue
+//     (core/event_queue.hpp), not heap-sifted fat records;
+//   - callbacks are InlineFn<48> stored in a recycled slot pool, so
+//     schedule_call never heap-allocates for captures <= 48 bytes;
+//   - coroutine frames come from a thread-local size-class arena
+//     (core/frame_arena.hpp), not the global allocator.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "core/event_queue.hpp"
+#include "core/frame_arena.hpp"
+#include "core/inline_fn.hpp"
 #include "core/task.hpp"
 #include "core/time.hpp"
 #include "util/assert.hpp"
@@ -25,6 +36,10 @@
 namespace hpccsim::sim {
 
 class Engine;
+
+/// Callback type for schedule_call: captures up to 48 bytes are stored
+/// inline (no allocation); larger ones fall back to one heap box.
+using Callback = InlineFn<48>;
 
 /// One-shot latch: processes await it; fire() releases all current and
 /// future waiters. Used for process-join and phase barriers.
@@ -73,9 +88,30 @@ class Engine {
   Time now() const { return now_; }
 
   /// Schedule a coroutine resume at an absolute time (>= now).
-  void schedule(Time when, std::coroutine_handle<> h);
-  /// Schedule an arbitrary callback (used by the flit-level network).
-  void schedule_call(Time when, std::function<void()> fn);
+  void schedule(Time when, std::coroutine_handle<> h) {
+    HPCCSIM_EXPECTS(when >= now_);
+    HPCCSIM_EXPECTS(h != nullptr);
+    queue_.push({when.picoseconds(), next_seq_++,
+                 reinterpret_cast<std::uintptr_t>(h.address())});
+  }
+
+  /// Schedule an arbitrary callback (used by the flit-level network, NX
+  /// message delivery, and the batch scheduler).
+  void schedule_call(Time when, Callback fn) {
+    HPCCSIM_EXPECTS(when >= now_);
+    HPCCSIM_EXPECTS(static_cast<bool>(fn));
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      call_slots_[slot] = std::move(fn);
+    } else {
+      slot = static_cast<std::uint32_t>(call_slots_.size());
+      call_slots_.push_back(std::move(fn));
+    }
+    queue_.push({when.picoseconds(), next_seq_++,
+                 (static_cast<std::uintptr_t>(slot) << 1) | 1});
+  }
 
   /// Start a root process; it first runs when the engine reaches now().
   ProcessId spawn(Task<void> task, std::string name = "proc");
@@ -83,7 +119,10 @@ class Engine {
   /// True once the given root process has returned.
   bool finished(ProcessId pid) const;
   /// Awaitable that completes when the root process returns.
-  auto join(ProcessId pid) { return roots_.at(pid.index)->done.wait(); }
+  auto join(ProcessId pid) {
+    HPCCSIM_EXPECTS(pid.index < roots_.size());
+    return roots_[pid.index]->done.wait();
+  }
 
   /// Run until no events remain. Throws the first process exception, or
   /// DeadlockError if processes remain blocked with an empty queue.
@@ -130,6 +169,15 @@ class Engine {
       std::suspend_always final_suspend() noexcept { return {}; }
       void return_void() {}
       void unhandled_exception();
+      static void* operator new(std::size_t n) {
+        return detail::FrameArena::allocate(n);
+      }
+      static void operator delete(void* p) noexcept {
+        detail::FrameArena::deallocate(p);
+      }
+      static void operator delete(void* p, std::size_t) noexcept {
+        detail::FrameArena::deallocate(p);
+      }
       Root* root = nullptr;
     };
     std::coroutine_handle<promise_type> handle;
@@ -144,26 +192,19 @@ class Engine {
     explicit Root(Engine& e, std::string n) : name(std::move(n)), done(e) {}
   };
 
-  struct Event {
-    Time when;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle;        // exactly one of handle/fn is set
-    std::function<void()> fn;
-    friend bool operator>(const Event& a, const Event& b) {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
   static RootCoro run_root(Root* root, Task<void> task);
-  void dispatch(Event& ev);
+  void dispatch(const detail::QEvent& ev);
   void check_errors();
 
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t max_events_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  detail::EventQueue queue_;
+  // Callback storage: events reference slots by index so queue records
+  // stay POD; freed slots are recycled newest-first (cache-warm).
+  std::vector<Callback> call_slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::vector<std::unique_ptr<Root>> roots_;
 };
 

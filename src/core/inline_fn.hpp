@@ -1,0 +1,114 @@
+// InlineFn<Cap>: a move-only callable with small-buffer storage.
+//
+// The engine's callback events used to carry a std::function<void()>,
+// which heap-allocates for any capture beyond ~16 bytes — one malloc per
+// scheduled callback on the hot path (flit router wake-ups, NX message
+// deliveries, batch completions). InlineFn stores any callable whose
+// state fits in Cap bytes directly inside the object; only oversized
+// captures fall back to a single heap box. Moves are a relocate
+// (move-construct + destroy source), so pooled slots can recycle
+// callables without touching the allocator.
+//
+// Deliberately minimal: void() signature only, no copy, no target-type
+// queries — exactly what Engine::schedule_call needs and nothing more.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace hpccsim::sim {
+
+template <std::size_t Cap>
+class InlineFn {
+  static_assert(Cap >= sizeof(void*), "buffer must hold at least a pointer");
+
+ public:
+  InlineFn() noexcept = default;
+
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineFn(F&& f) {  // NOLINT: implicit by design (lambda -> InlineFn)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kBoxedOps<Fn>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { steal(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  void operator()() {
+    HPCCSIM_EXPECTS(ops_ != nullptr);
+    ops_->invoke(buf_);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when a callable of type Fn is stored in-buffer (no allocation).
+  template <class Fn>
+  static constexpr bool fits_inline =
+      sizeof(Fn) <= Cap && alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct + destroy src
+    void (*destroy)(void*);
+  };
+
+  template <class Fn>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) {
+        Fn* s = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); }};
+
+  template <class Fn>
+  static constexpr Ops kBoxedOps{
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* p) { delete *static_cast<Fn**>(p); }};
+
+  void steal(InlineFn& other) noexcept {
+    if (other.ops_) {
+      other.ops_->relocate(buf_, other.buf_);
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[Cap];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hpccsim::sim

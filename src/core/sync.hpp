@@ -8,7 +8,11 @@
 //     joins without spawning-order bookkeeping).
 //
 // All are single-threaded under the simulation engine and wake waiters
-// through the event queue in FIFO order, preserving determinism.
+// through the event queue in FIFO order, preserving determinism. These
+// synchronize *simulated* processes only: like the Engine that owns
+// them, they must never be shared across host threads. Host-level
+// parallelism runs one engine per thread (util/parallel.hpp and
+// docs/MODEL.md §8) and needs no locks at all.
 #pragma once
 
 #include <coroutine>

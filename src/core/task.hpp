@@ -28,6 +28,7 @@
 #include <exception>
 #include <utility>
 
+#include "core/frame_arena.hpp"
 #include "util/assert.hpp"
 
 namespace hpccsim::sim {
@@ -40,6 +41,18 @@ namespace detail {
 struct PromiseBase {
   std::coroutine_handle<> continuation;  // who to resume when we finish
   std::exception_ptr error;
+
+  // Coroutine frames are the simulator's hottest allocation: route them
+  // through the thread-local frame arena instead of the global heap.
+  // Frames must be destroyed on the thread that created them (they
+  // always are — an Engine and its processes live on one thread).
+  static void* operator new(std::size_t n) {
+    return FrameArena::allocate(n);
+  }
+  static void operator delete(void* p) noexcept { FrameArena::deallocate(p); }
+  static void operator delete(void* p, std::size_t) noexcept {
+    FrameArena::deallocate(p);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 

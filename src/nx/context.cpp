@@ -32,9 +32,14 @@ void NxContext::launch_message(int dst, int tag, Bytes bytes,
       machine_->network().transfer(rank_, dst, bytes, depart);
   Message msg{rank_, tag, bytes, std::move(payload)};
   Mailbox* dst_box = &machine_->context(dst).mailbox();
-  eng.schedule_call(arrival, [dst_box, m = std::move(msg)]() mutable {
+  auto deliver = [dst_box, m = std::move(msg)]() mutable {
     dst_box->deliver(std::move(m));
-  });
+  };
+  // Hottest schedule_call site in the simulator: every message delivery.
+  // The capture must stay within the engine callback's inline buffer so
+  // deliveries never heap-allocate (docs/PERF.md, allocation behaviour).
+  static_assert(sim::Callback::fits_inline<decltype(deliver)>);
+  eng.schedule_call(arrival, std::move(deliver));
   machine_->record_message(
       MessageTraceRecord{depart, arrival, rank_, dst, tag, bytes});
   ++stats_.sends;

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace hpccsim {
 
 ArgParser::ArgParser(std::string program, std::string description)
@@ -21,6 +23,15 @@ void ArgParser::add_option(std::string name, std::string help,
       Opt{std::move(help), std::move(default_value), /*is_flag=*/false,
           /*set=*/false};
 }
+
+void ArgParser::add_jobs_option() {
+  add_option("jobs",
+             "worker threads for the sweep (0 = HPCCSIM_JOBS env var, "
+             "else all hardware threads)",
+             "0");
+}
+
+int ArgParser::jobs() const { return resolve_jobs(integer("jobs")); }
 
 void ArgParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {

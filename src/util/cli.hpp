@@ -22,6 +22,14 @@ class ArgParser {
   void add_option(std::string name, std::string help,
                   std::string default_value);
 
+  /// Declare the standard `--jobs N` option (0 = use HPCCSIM_JOBS env
+  /// var, else all hardware threads). Read it back with jobs().
+  void add_jobs_option();
+
+  /// Resolved worker count for parallel_for: --jobs if given, else the
+  /// HPCCSIM_JOBS environment variable, else hardware concurrency.
+  int jobs() const;
+
   /// Parses argv; throws std::invalid_argument on unknown/malformed input.
   void parse(int argc, const char* const* argv);
 

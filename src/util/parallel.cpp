@@ -1,0 +1,22 @@
+#include "util/parallel.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace hpccsim {
+
+int resolve_jobs(std::int64_t requested) {
+  if (requested > 0) return static_cast<int>(requested);
+  if (const char* env = std::getenv("HPCCSIM_JOBS")) {
+    try {
+      const long v = std::stol(env);
+      if (v > 0) return static_cast<int>(v);
+    } catch (...) {
+      // Malformed HPCCSIM_JOBS falls through to autodetection.
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace hpccsim

@@ -1,0 +1,68 @@
+// Deterministic fork-join parallelism for parameter sweeps.
+//
+// parallel_for(n, jobs, fn) runs fn(i) for i in [0, n) across `jobs`
+// threads using a *static block partition*: thread t owns the contiguous
+// range [t*n/jobs, (t+1)*n/jobs). There is no work stealing and no
+// shared queue, so which thread runs which index is a pure function of
+// (n, jobs) — results written to a pre-sized output vector land in the
+// same slots on every run, and rendering the output after the join is
+// byte-identical at any job count.
+//
+// Intended use (see bench/): each sweep point constructs its own Engine
+// and simulated machine, runs it to completion, and writes one row into
+// out[i]. Engines are single-threaded by design (docs/MODEL.md §threading)
+// — the only sharing between sweep points is the disjoint output slots.
+//
+// fn must not touch shared mutable state. Exceptions thrown by fn are
+// captured per block; after the join the first one in block order is
+// rethrown on the calling thread (later ones are dropped).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace hpccsim {
+
+/// Resolve a job-count request to a concrete thread count (>= 1).
+/// `requested` > 0 wins; otherwise the HPCCSIM_JOBS environment variable;
+/// otherwise std::thread::hardware_concurrency().
+int resolve_jobs(std::int64_t requested);
+
+template <class Fn>
+void parallel_for(std::size_t n, int jobs, Fn&& fn) {
+  if (n == 0) return;
+  std::size_t workers = jobs < 1 ? 1 : static_cast<std::size_t>(jobs);
+  if (workers > n) workers = n;
+  if (workers == 1) {
+    // Serial path: no threads, same iteration order as one block.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(workers);
+  auto run_block = [&](std::size_t t) {
+    const std::size_t begin = t * n / workers;
+    const std::size_t end = (t + 1) * n / workers;
+    try {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    } catch (...) {
+      errors[t] = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t)
+    threads.emplace_back(run_block, t);
+  run_block(0);
+  for (auto& th : threads) th.join();
+
+  for (auto& err : errors)
+    if (err) std::rethrow_exception(err);
+}
+
+}  // namespace hpccsim
