@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mesh_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/proc_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/nx_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/wan_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/hpcc_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sched_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/io_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/exhibits_test[1]_include.cmake")
