@@ -17,6 +17,18 @@ void Trigger::fire() {
   for (auto h : firing) engine_->schedule(engine_->now(), h);
   firing.clear();
   if (waiters_.empty()) waiters_.swap(firing);
+  std::vector<Callback> cbs;
+  cbs.swap(fire_callbacks_);
+  for (auto& cb : cbs) engine_->schedule_call(engine_->now(), std::move(cb));
+}
+
+void Trigger::on_fire(Callback cb) {
+  HPCCSIM_EXPECTS(static_cast<bool>(cb));
+  if (fired_) {
+    engine_->schedule_call(engine_->now(), std::move(cb));
+  } else {
+    fire_callbacks_.push_back(std::move(cb));
+  }
 }
 
 Engine::~Engine() {

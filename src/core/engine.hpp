@@ -55,6 +55,13 @@ class Trigger {
   void fire();
   bool fired() const { return fired_; }
 
+  /// Register a callback to run at the fire instant (scheduled through
+  /// the event queue, like waiter resumes). If already fired, the
+  /// callback is scheduled at the current instant. Callbacks on a
+  /// trigger that never fires are retained until the trigger dies —
+  /// intended for short-lived triggers (abort epochs, request states).
+  void on_fire(Callback cb);
+
   auto wait() {
     struct Awaiter {
       Trigger* t;
@@ -70,6 +77,7 @@ class Trigger {
  private:
   Engine* engine_;
   std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<Callback> fire_callbacks_;
   bool fired_ = false;
 };
 
@@ -215,5 +223,77 @@ class DeadlockError : public std::runtime_error {
   explicit DeadlockError(const std::string& what)
       : std::runtime_error(what) {}
 };
+
+namespace detail {
+/// Shared settle flag for two-way races (timer vs trigger, trigger vs
+/// trigger). Heap-shared so the losing path can observe that the race is
+/// over even after the winning path resumed (and possibly destroyed) the
+/// waiting coroutine.
+struct RaceState {
+  bool settled = false;
+  bool first_won = false;
+};
+}  // namespace detail
+
+/// Awaitable: suspend for `dt` of simulated time, unless `abort` fires
+/// first. await_resume() returns true when the full delay elapsed, false
+/// when the abort won (the waiter resumes at the abort instant). Ties at
+/// the same instant go to the timer (it was scheduled first).
+inline auto abortable_delay(Engine& e, Time dt, Trigger& abort) {
+  struct Awaiter {
+    Engine* e;
+    Time dt;
+    Trigger* abort;
+    std::shared_ptr<detail::RaceState> st;
+
+    bool await_ready() const noexcept { return abort->fired(); }
+    void await_suspend(std::coroutine_handle<> h) {
+      st = std::make_shared<detail::RaceState>();
+      e->schedule_call(e->now() + dt, [s = st, h] {
+        if (s->settled) return;
+        s->settled = true;
+        s->first_won = true;
+        h.resume();
+      });
+      abort->on_fire([s = st, h] {
+        if (s->settled) return;
+        s->settled = true;
+        h.resume();
+      });
+    }
+    bool await_resume() const noexcept { return st ? st->first_won : false; }
+  };
+  return Awaiter{&e, dt, &abort, nullptr};
+}
+
+/// Awaitable: suspend until either trigger fires; returns true if `a`
+/// won (or had already fired — `a` wins ready-state ties).
+inline auto race_triggers(Trigger& a, Trigger& b) {
+  struct Awaiter {
+    Trigger* a;
+    Trigger* b;
+    std::shared_ptr<detail::RaceState> st;
+
+    bool await_ready() const noexcept { return a->fired() || b->fired(); }
+    void await_suspend(std::coroutine_handle<> h) {
+      st = std::make_shared<detail::RaceState>();
+      a->on_fire([s = st, h] {
+        if (s->settled) return;
+        s->settled = true;
+        s->first_won = true;
+        h.resume();
+      });
+      b->on_fire([s = st, h] {
+        if (s->settled) return;
+        s->settled = true;
+        h.resume();
+      });
+    }
+    bool await_resume() const noexcept {
+      return st ? st->first_won : a->fired();
+    }
+  };
+  return Awaiter{&a, &b, nullptr};
+}
 
 }  // namespace hpccsim::sim

@@ -1,0 +1,118 @@
+// Coordinated checkpoint/restart on top of the NX runtime and the CFS.
+//
+// Models the only fault-tolerance scheme practical on the paper-era
+// machines: blocking coordinated checkpointing. All nodes synchronize,
+// dump their state to the parallel file system, and a commit barrier
+// makes the checkpoint durable; any node crash rolls every node back to
+// the last committed checkpoint. The run's wall clock is partitioned
+// into a WasteReport, which bench/fault_waste sweeps against the
+// checkpoint interval to reproduce the classic U-shaped waste curve and
+// compare its minimum with the Young/Daly closed forms.
+//
+// Protocol per epoch (epoch = one `interval` of application work):
+//   compute (abortable) -> pre-checkpoint barrier -> checkpoint write
+//   (costed through io/cfs, all ranks concurrently) -> commit barrier.
+// A crash anywhere fires the attempt's abort trigger; everyone unwinds
+// to recovery: wait until the machine is whole, rendezvous (barrier
+// keyed by the new attempt), read the last committed checkpoint back,
+// and resume from the committed offset. Every barrier is an
+// nx::abortable_barrier with attempt-unique tags, so stale messages
+// from a dead attempt can never satisfy a live one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/task.hpp"
+#include "fault/injector.hpp"
+#include "fault/stats.hpp"
+#include "io/cfs.hpp"
+#include "nx/collectives.hpp"
+#include "nx/machine_runtime.hpp"
+#include "util/units.hpp"
+
+namespace hpccsim::fault {
+
+struct CheckpointConfig {
+  /// Application compute per node (the job finishes when every node has
+  /// committed this much).
+  sim::Time total_work = sim::Time::sec(3600.0);
+  /// Checkpoint every `interval` of committed work. The swept knob.
+  sim::Time interval = sim::Time::sec(600.0);
+  /// Checkpoint state per node.
+  Bytes bytes_per_node = 16 * MiB;
+  /// Cost checkpoints/restores through the CFS model (traffic rides the
+  /// real mesh and queues on real disks). When false, fixed costs below
+  /// are charged instead (fast, for unit tests).
+  bool use_cfs = true;
+  sim::Time fixed_checkpoint_cost = sim::Time::sec(30.0);
+  sim::Time fixed_restore_cost = sim::Time::sec(30.0);
+};
+
+/// One checkpointed application run on a machine with a fault injector.
+///
+///   nx::NxMachine machine(...);
+///   FaultInjector injector(machine, fcfg);
+///   io::Cfs cfs(machine);
+///   CheckpointedRun run(machine, injector, &cfs, ccfg);
+///   run.execute();
+///   run.report();  // where the wall clock went
+class CheckpointedRun {
+ public:
+  /// `cfs` may be null when cfg.use_cfs is false.
+  CheckpointedRun(nx::NxMachine& machine, FaultInjector& injector,
+                  io::Cfs* cfs, CheckpointConfig cfg);
+
+  /// Arms the injector, runs the program on every node to completion,
+  /// finalizes the report. Returns the job's wall clock (start of run
+  /// to the commit of the last segment).
+  sim::Time execute();
+
+  /// The per-node coroutine (exposed so callers composing their own
+  /// machine.run() can wrap it).
+  sim::Task<> node_program(nx::NxContext& ctx);
+
+  const WasteReport& report() const { return report_; }
+
+ private:
+  // -- lead-rank accounting: partitions rank 0's timeline exactly ----
+  void mark_into(sim::Time& bucket);
+  void commit_tentative();
+  void abort_tentative();
+
+  sim::Task<bool> write_checkpoint(nx::NxContext& ctx, int epoch,
+                                   sim::Trigger& abort);
+  sim::Task<> read_checkpoint(nx::NxContext& ctx, int epoch);
+
+  nx::NxMachine* machine_;
+  FaultInjector* injector_;
+  io::Cfs* cfs_;
+  CheckpointConfig cfg_;
+  nx::Group world_;
+
+  // -- shared recovery state (single-threaded engine: plain fields) --
+  int attempt_ = 0;                       ///< bumped at every crash
+  std::unique_ptr<sim::Trigger> abort_;   ///< fires when attempt_ bumps
+  /// Aborted attempts' triggers, kept alive because un-suspended
+  /// coroutines may still hold references into them (they observe
+  /// fired() == true and unwind).
+  std::vector<std::unique_ptr<sim::Trigger>> retired_aborts_;
+  sim::Time committed_;                   ///< work durably checkpointed
+  int committed_epochs_ = 0;              ///< checkpoints committed
+  bool done_ = false;
+  std::unique_ptr<sim::Trigger> done_trigger_;
+
+  // -- lead accounting state --
+  sim::Time start_;
+  sim::Time mark_;
+  sim::Time tent_compute_;
+  sim::Time tent_sync_;
+  sim::Time tent_ckpt_;
+  bool wrote_this_epoch_ = false;
+
+  WasteReport report_;
+};
+
+}  // namespace hpccsim::fault

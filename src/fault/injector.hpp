@@ -1,0 +1,166 @@
+// Deterministic, seeded fault injection for a simulated machine.
+//
+// Two-stage design keeps the product guarantee (byte-identical output at
+// any --jobs) trivial to uphold:
+//
+//   1. generate_fault_trace() is a PURE function of (config, mesh): it
+//      draws every component's failure/repair times from named RNG
+//      substreams (util/rng.hpp) and returns the sorted event list. No
+//      engine, no global state — the trace is identical on any thread.
+//   2. FaultInjector::arm() schedules the trace onto the machine's
+//      engine. Crashes flip proc::NodeStateTable (the runtime then
+//      discards traffic to down nodes), purge the victim's mailbox, and
+//      notify crash listeners (src/fault/checkpoint.hpp uses this to
+//      abort the current epoch). Link events drive the analytical mesh
+//      model's reroute/stall path.
+//
+// Transient message loss is implemented via the nx::FaultHooks
+// interface: a per-message Bernoulli draw from its own substream.
+// Fault-protocol tags (>= nx::kFaultProtocolTagBase) are never dropped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/task.hpp"
+#include "core/time.hpp"
+#include "mesh/topology.hpp"
+#include "nx/fault_hooks.hpp"
+#include "nx/machine_runtime.hpp"
+#include "util/rng.hpp"
+
+namespace hpccsim::fault {
+
+/// Inter-arrival distribution for component lifetimes.
+enum class Distribution {
+  Exponential,  ///< memoryless (classic MTBF model)
+  Weibull,      ///< shape < 1: infant mortality, as real HPC logs show
+};
+
+const char* distribution_name(Distribution d);
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  /// Faults are generated in [0, horizon). Make it comfortably larger
+  /// than the expected run; repairs are always generated for every
+  /// crash, even past the horizon, so no component stays down forever.
+  sim::Time horizon = sim::Time::sec(3600.0);
+
+  /// Per-node mean time between failures (zero disables node crashes).
+  sim::Time node_mtbf = sim::Time::zero();
+  /// Mean node repair time (board swap / reboot).
+  sim::Time node_repair = sim::Time::sec(120.0);
+
+  /// Per-link MTBF (zero disables link failures).
+  sim::Time link_mtbf = sim::Time::zero();
+  sim::Time link_repair = sim::Time::sec(30.0);
+
+  /// Probability that any one application message is lost in flight.
+  double drop_rate = 0.0;
+
+  Distribution dist = Distribution::Exponential;
+  /// Weibull shape (< 1 = decreasing hazard); scale is derived so the
+  /// mean stays at the configured MTBF.
+  double weibull_shape = 0.7;
+
+  bool enabled() const {
+    return node_mtbf > sim::Time::zero() ||
+           link_mtbf > sim::Time::zero() || drop_rate > 0.0;
+  }
+};
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    NodeCrash = 0,
+    NodeRepair = 1,
+    LinkFail = 2,
+    LinkRepair = 3,
+  };
+  sim::Time when;
+  Kind kind = Kind::NodeCrash;
+  std::int32_t a = 0;  ///< node rank, or the link's from-node
+  std::int32_t b = 0;  ///< link direction (mesh::Dir); 0 for node events
+};
+
+/// Pure: the full fault schedule for (cfg, mesh), sorted by
+/// (time, kind, a, b). Deterministic on every platform and thread.
+std::vector<FaultEvent> generate_fault_trace(const FaultConfig& cfg,
+                                             const mesh::Mesh2D& mesh);
+
+class FaultInjector final : public nx::FaultHooks {
+ public:
+  /// Generates the trace and installs the message-drop hooks on the
+  /// machine. Call arm() once before running the program.
+  FaultInjector(nx::NxMachine& machine, FaultConfig cfg);
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultConfig& config() const { return cfg_; }
+  const std::vector<FaultEvent>& trace() const { return trace_; }
+  /// CSV dump ("when_us,kind,a,b"), for determinism checks and tooling.
+  std::string trace_csv() const;
+
+  /// Replace the generated trace (tests inject hand-built schedules).
+  /// Must be sorted by time; call before arm().
+  void set_trace(std::vector<FaultEvent> trace);
+
+  /// Schedule every trace event on the machine's engine. Call once.
+  void arm();
+
+  /// Stop inducing NEW faults (crashes, link failures). Pending repairs
+  /// still fire so nothing waits forever. Called by the checkpoint
+  /// layer once the run completes, so leftover armed events past the
+  /// completion time become no-ops.
+  void disarm() { disarmed_ = true; }
+
+  /// Called at each crash instant, after the node is marked down and
+  /// its mailbox purged. The checkpoint layer registers its epoch-abort
+  /// here.
+  void add_crash_listener(std::function<void(std::int32_t rank)> fn);
+
+  /// Awaitable: resolves once `rank` is up (immediately if it already is).
+  sim::Task<> wait_until_up(std::int32_t rank);
+  /// Awaitable: resolves once every node is up.
+  sim::Task<> wait_until_all_up();
+
+  std::uint64_t crashes() const { return crashes_; }
+  std::uint64_t repairs() const { return repairs_; }
+  std::uint64_t link_failures() const { return link_failures_; }
+  std::uint64_t drops() const { return drops_; }
+  /// Messages discarded from crashed nodes' queues (subset of the
+  /// machine's messages_dropped()).
+  std::uint64_t purged_messages() const { return purged_; }
+
+  // nx::FaultHooks
+  bool drop_message(int src, int dst, int tag, Bytes bytes,
+                    sim::Time depart) override;
+
+ private:
+  void apply(const FaultEvent& ev);
+
+  nx::NxMachine* machine_;
+  FaultConfig cfg_;
+  std::vector<FaultEvent> trace_;
+  Rng drop_rng_;
+  bool armed_ = false;
+  bool disarmed_ = false;
+
+  std::vector<std::function<void(std::int32_t)>> crash_listeners_;
+  // Lazily created; fired and reset on the matching repair.
+  std::vector<std::unique_ptr<sim::Trigger>> up_triggers_;
+  std::unique_ptr<sim::Trigger> all_up_trigger_;
+
+  std::uint64_t crashes_ = 0;
+  std::uint64_t repairs_ = 0;
+  std::uint64_t link_failures_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t purged_ = 0;
+};
+
+}  // namespace hpccsim::fault

@@ -1,0 +1,78 @@
+#include "fault/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace hpccsim::fault {
+
+double WasteReport::waste_fraction() const {
+  if (elapsed == sim::Time::zero()) return 0.0;
+  return 1.0 - useful.as_sec() / elapsed.as_sec();
+}
+
+double WasteReport::efficiency() const {
+  if (elapsed == sim::Time::zero()) return 1.0;
+  return useful.as_sec() / elapsed.as_sec();
+}
+
+bool WasteReport::balanced(double tol) const {
+  const double sum = useful.as_sec() + checkpoint.as_sec() +
+                     restore.as_sec() + lost.as_sec() + sync.as_sec() +
+                     recovery_wait.as_sec();
+  const double total = elapsed.as_sec();
+  if (total == 0.0) return sum == 0.0;
+  return std::abs(sum - total) <= tol * total;
+}
+
+std::string WasteReport::str() const {
+  auto pct = [&](sim::Time t) {
+    if (elapsed == sim::Time::zero()) return 0.0;
+    return 100.0 * t.as_sec() / elapsed.as_sec();
+  };
+  std::ostringstream os;
+  os << "elapsed        " << elapsed.str() << '\n';
+  os << "  useful       " << useful.str() << "  (" << pct(useful) << "%)\n";
+  os << "  checkpoint   " << checkpoint.str() << "  (" << pct(checkpoint)
+     << "%)\n";
+  os << "  restore      " << restore.str() << "  (" << pct(restore) << "%)\n";
+  os << "  lost work    " << lost.str() << "  (" << pct(lost) << "%)\n";
+  os << "  sync         " << sync.str() << "  (" << pct(sync) << "%)\n";
+  os << "  recovery     " << recovery_wait.str() << "  ("
+     << pct(recovery_wait) << "%)\n";
+  os << "checkpoints " << checkpoints << ", restores " << restores
+     << ", aborted epochs " << aborted_epochs << ", crashes " << crashes
+     << ", dropped msgs " << messages_dropped << '\n';
+  return os.str();
+}
+
+sim::Time young_interval(sim::Time checkpoint_cost, sim::Time mtbf) {
+  HPCCSIM_EXPECTS(mtbf > sim::Time::zero());
+  return sim::Time::sec(
+      std::sqrt(2.0 * checkpoint_cost.as_sec() * mtbf.as_sec()));
+}
+
+sim::Time daly_interval(sim::Time checkpoint_cost, sim::Time mtbf) {
+  HPCCSIM_EXPECTS(mtbf > sim::Time::zero());
+  const double c = checkpoint_cost.as_sec();
+  const double m = mtbf.as_sec();
+  if (c >= 2.0 * m) return mtbf;
+  const double x = std::sqrt(c / (2.0 * m));
+  const double opt =
+      std::sqrt(2.0 * c * m) * (1.0 + x / 3.0 + x * x / 9.0) - c;
+  return sim::Time::sec(std::max(opt, 0.0));
+}
+
+double modeled_waste(sim::Time interval, sim::Time checkpoint_cost,
+                     sim::Time mtbf, sim::Time restart_cost) {
+  HPCCSIM_EXPECTS(interval > sim::Time::zero());
+  HPCCSIM_EXPECTS(mtbf > sim::Time::zero());
+  const double i = interval.as_sec();
+  const double c = checkpoint_cost.as_sec();
+  const double m = mtbf.as_sec();
+  const double r = restart_cost.as_sec();
+  return c / i + (i + c) / (2.0 * m) + r / m;
+}
+
+}  // namespace hpccsim::fault

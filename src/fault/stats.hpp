@@ -1,0 +1,62 @@
+// Waste accounting for fault-tolerant runs.
+//
+// The paper-era question behind this module: a 528-node machine with
+// per-node MTBFs measured in days fails every few hours, so how much of
+// its peak is actually deliverable to an application that must
+// checkpoint to a few MB/s of aggregate disk? WasteReport partitions a
+// run's wall clock into where the time really went, and the
+// Young/Daly formulas give the closed-form optimum to compare the
+// simulation against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/time.hpp"
+
+namespace hpccsim::fault {
+
+/// Where a fault-tolerant run's wall clock went. The six time buckets
+/// partition `elapsed` (lead-rank timeline; see balanced()).
+struct WasteReport {
+  sim::Time elapsed;        ///< start of the run to global completion
+  sim::Time useful;         ///< committed application compute
+  sim::Time checkpoint;     ///< committed checkpoint writes
+  sim::Time restore;        ///< reading state back after failures
+  sim::Time lost;           ///< uncommitted work discarded by rollbacks
+  sim::Time sync;           ///< committed barrier/commit coordination
+  sim::Time recovery_wait;  ///< waiting for repair + re-rendezvous
+
+  std::uint64_t checkpoints = 0;     ///< committed checkpoint epochs
+  std::uint64_t restores = 0;        ///< rollback restores performed
+  std::uint64_t aborted_epochs = 0;  ///< epochs discarded by a crash
+  std::uint64_t crashes = 0;         ///< node crashes during the run
+  std::uint64_t messages_dropped = 0;
+
+  /// Fraction of the wall clock that was not useful compute.
+  double waste_fraction() const;
+  /// useful / elapsed: multiply by peak FLOPS for effective FLOPS.
+  double efficiency() const;
+  /// Do the buckets account for (almost) all of `elapsed`?
+  bool balanced(double tol = 0.02) const;
+  /// Multi-line human-readable summary.
+  std::string str() const;
+};
+
+/// Young's first-order optimal checkpoint interval: sqrt(2 C M), with C
+/// the checkpoint cost and M the machine MTBF.
+sim::Time young_interval(sim::Time checkpoint_cost, sim::Time mtbf);
+
+/// Daly's higher-order refinement of Young's formula:
+///   I* = sqrt(2CM) [1 + (1/3) sqrt(C/2M) + (1/9)(C/2M)] - C  (C < 2M)
+///   I* = M                                                   (otherwise)
+sim::Time daly_interval(sim::Time checkpoint_cost, sim::Time mtbf);
+
+/// First-order model of the expected waste fraction when checkpointing
+/// every `interval` of useful work: checkpoint overhead C/I, expected
+/// rework (I + C)/2 per failure, restart R per failure, failures at
+/// rate 1/M. Reference curve for the simulated U-shape.
+double modeled_waste(sim::Time interval, sim::Time checkpoint_cost,
+                     sim::Time mtbf, sim::Time restart_cost);
+
+}  // namespace hpccsim::fault

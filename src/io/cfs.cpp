@@ -81,6 +81,21 @@ sim::Task<> Cfs::transfer_op(nx::NxContext& ctx, std::int64_t offset,
   co_await eng.delay(last_done - eng.now());
 }
 
+sim::Time Cfs::estimate_write_time(Bytes total) const {
+  HPCCSIM_EXPECTS(total > 0);
+  const auto ndisks = static_cast<std::int64_t>(cfg_.io_nodes.size());
+  const auto stripe = static_cast<std::int64_t>(cfg_.stripe);
+  const std::int64_t chunks =
+      (static_cast<std::int64_t>(total) + stripe - 1) / stripe;
+  // The busiest disk serves ceil(chunks / ndisks) seeks plus its share
+  // of the streamed bytes.
+  const std::int64_t per_disk_chunks = (chunks + ndisks - 1) / ndisks;
+  const auto per_disk_bytes =
+      static_cast<double>(total) / static_cast<double>(ndisks);
+  return cfg_.seek * static_cast<std::uint64_t>(per_disk_chunks) +
+         sim::Time::sec(per_disk_bytes / cfg_.disk_bw.bytes_per_sec());
+}
+
 sim::Task<> Cfs::write(nx::NxContext& ctx, std::int64_t offset, Bytes bytes) {
   co_await transfer_op(ctx, offset, bytes, /*is_write=*/true);
 }

@@ -70,6 +70,13 @@ class Cfs {
     return BytesPerSecond{cfg_.disk_bw.bytes_per_sec() * disk_count()};
   }
 
+  /// Closed-form estimate of the time to write `total` bytes with all
+  /// disks idle: per-disk chunk seeks plus streaming. Ignores mesh
+  /// transit and client overhead, so it slightly underestimates the
+  /// simulated cost; src/fault uses it to seed the Young/Daly formulas
+  /// before any checkpoint has actually been written.
+  sim::Time estimate_write_time(Bytes total) const;
+
  private:
   sim::Task<> transfer_op(nx::NxContext& ctx, std::int64_t offset,
                           Bytes bytes, bool is_write);

@@ -8,8 +8,23 @@ AnalyticalMeshNet::AnalyticalMeshNet(Mesh2D mesh, AnalyticalParams params)
     : mesh_(mesh),
       params_(params),
       link_free_at_(static_cast<std::size_t>(mesh.link_count()),
-                    sim::Time::zero()) {
+                    sim::Time::zero()),
+      failed_links_(static_cast<std::size_t>(mesh.link_count()), false) {
   HPCCSIM_EXPECTS(params.channel_bw.bytes_per_sec() > 0);
+}
+
+bool AnalyticalMeshNet::route_clean(const std::vector<LinkId>& route) const {
+  for (const LinkId l : route)
+    if (failed_links_[static_cast<std::size_t>(l)]) return false;
+  return true;
+}
+
+void AnalyticalMeshNet::set_link_failed(NodeId from, Dir d, bool failed) {
+  const LinkId l = mesh_.link(from, d);
+  auto ref = failed_links_[static_cast<std::size_t>(l)];
+  if (ref == failed) return;
+  ref = failed;
+  failed_count_ += failed ? 1 : -1;
 }
 
 sim::Time AnalyticalMeshNet::transfer(NodeId src, NodeId dst, Bytes bytes,
@@ -25,8 +40,21 @@ sim::Time AnalyticalMeshNet::transfer(NodeId src, NodeId dst, Bytes bytes,
     return depart + params_.nic_latency + ser;
   }
 
-  const auto route = mesh_.xy_route(src, dst);
+  auto route = mesh_.xy_route(src, dst);
   sim::Time start = depart;
+  if (failed_count_ > 0 && !route_clean(route)) {
+    // Fault path: prefer the YX detour; if that is also cut, retry the
+    // XY route after a backpressure stall (the repair model guarantees
+    // progress, so we do not simulate the retry loop itself).
+    auto alt = mesh_.yx_route(src, dst);
+    if (route_clean(alt)) {
+      route = std::move(alt);
+      ++reroutes_;
+    } else {
+      start = start + params_.fault_stall;
+      ++stalls_;
+    }
+  }
   for (const LinkId l : route)
     start = std::max(start, link_free_at_[static_cast<std::size_t>(l)]);
 
@@ -43,6 +71,10 @@ sim::Time AnalyticalMeshNet::transfer(NodeId src, NodeId dst, Bytes bytes,
 
 void AnalyticalMeshNet::reset() {
   std::fill(link_free_at_.begin(), link_free_at_.end(), sim::Time::zero());
+  std::fill(failed_links_.begin(), failed_links_.end(), false);
+  failed_count_ = 0;
+  reroutes_ = 0;
+  stalls_ = 0;
   messages_ = 0;
   contention_us_ = RunningStat{};
 }

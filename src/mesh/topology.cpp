@@ -73,6 +73,28 @@ std::vector<LinkId> Mesh2D::xy_route(NodeId src, NodeId dst) const {
   return route;
 }
 
+std::vector<LinkId> Mesh2D::yx_route(NodeId src, NodeId dst) const {
+  const Coord to = coord_of(dst);
+  std::vector<LinkId> route;
+  route.reserve(static_cast<std::size_t>(distance(src, dst)));
+  NodeId at = src;
+  Coord c = coord_of(src);
+  while (c.y != to.y) {
+    const Dir d = c.y < to.y ? Dir::South : Dir::North;
+    route.push_back(link(at, d));
+    at = neighbour(at, d);
+    c = coord_of(at);
+  }
+  while (c.x != to.x) {
+    const Dir d = c.x < to.x ? Dir::East : Dir::West;
+    route.push_back(link(at, d));
+    at = neighbour(at, d);
+    c = coord_of(at);
+  }
+  HPCCSIM_ENSURES(at == dst);
+  return route;
+}
+
 std::vector<NodeId> Mesh2D::xy_path_nodes(NodeId src, NodeId dst) const {
   std::vector<NodeId> nodes{src};
   NodeId at = src;

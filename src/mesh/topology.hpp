@@ -61,6 +61,10 @@ class Mesh2D {
   /// Deterministic and deadlock-free on a mesh. Empty if src == dst.
   std::vector<LinkId> xy_route(NodeId src, NodeId dst) const;
 
+  /// The YX (Y-dimension-first) route: the fault-recovery alternative
+  /// used when a link on the XY route is down. Same length as XY.
+  std::vector<LinkId> yx_route(NodeId src, NodeId dst) const;
+
   /// The node sequence visited by the XY route, including endpoints.
   std::vector<NodeId> xy_path_nodes(NodeId src, NodeId dst) const;
 

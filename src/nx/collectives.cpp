@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nx/fault_hooks.hpp"
 #include "util/assert.hpp"
 
 namespace hpccsim::nx {
@@ -260,6 +261,31 @@ sim::Task<Message> allreduce(NxContext& ctx, const Group& g, ReduceOp op,
 sim::Task<> barrier(NxContext& ctx, const Group& g) {
   // Zero-byte allreduce: correctness only needs the synchronization.
   co_await allreduce(ctx, g, ReduceOp::Sum, 0, {});
+}
+
+sim::Task<bool> abortable_barrier(NxContext& ctx, const Group& g,
+                                  sim::Trigger& abort, int epoch_key) {
+  HPCCSIM_EXPECTS(g.contains(ctx.rank()));
+  HPCCSIM_EXPECTS(epoch_key >= 0);
+  // Tags live in their own space above the collective tags; the epoch
+  // key isolates attempts, the low bits isolate rounds (P <= 2^16).
+  const int tag_base =
+      kFaultProtocolTagBase + (epoch_key % (1 << 26)) * 16;
+
+  if (abort.fired()) co_return false;
+  const int size = g.size();
+  if (size == 1) co_return true;
+
+  const int me = g.index_of(ctx.rank());
+  int round = 0;
+  for (int dist = 1; dist < size; dist <<= 1, ++round) {
+    const int to = g.rank_at((me + dist) % size);
+    const int from = g.rank_at((me - dist + size) % size);
+    co_await ctx.send(to, tag_base + round, 8);
+    auto m = co_await ctx.recv_abortable(from, tag_base + round, abort);
+    if (!m) co_return false;
+  }
+  co_return !abort.fired();
 }
 
 // ------------------------------------------------------ gather/scatter --

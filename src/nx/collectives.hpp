@@ -63,6 +63,20 @@ const char* algo_name(CollectiveAlgo a);
 /// All members wait until every member has entered.
 sim::Task<> barrier(NxContext& ctx, const Group& g);
 
+/// Crash-aware barrier for the fault-tolerance layer: a dissemination
+/// barrier (ceil(log2 P) rounds of 8-byte exchanges) whose receives
+/// resolve early when `abort` fires. Returns true when every member
+/// completed, false when aborted.
+///
+/// Unlike the plain collectives, matching is NOT by per-group sequence
+/// number (survivors of a crash have divergent sequence counters).
+/// Callers pass an `epoch_key` that is identical on every member for
+/// the same logical rendezvous and never reused across attempts; it is
+/// folded into the tag so stale messages from an aborted attempt can
+/// never match a later barrier.
+sim::Task<bool> abortable_barrier(NxContext& ctx, const Group& g,
+                                  sim::Trigger& abort, int epoch_key);
+
 /// Root's payload (bytes, data) reaches every member. Non-roots pass
 /// bytes only (must equal root's). Returns the payload at every member.
 sim::Task<Message> bcast(NxContext& ctx, const Group& g, int root,

@@ -30,20 +30,36 @@ void NxContext::launch_message(int dst, int tag, Bytes bytes,
   // of the last byte at the destination NIC.
   const sim::Time arrival =
       machine_->network().transfer(rank_, dst, bytes, depart);
+  machine_->record_message(
+      MessageTraceRecord{depart, arrival, rank_, dst, tag, bytes});
+  ++stats_.sends;
+  stats_.bytes_sent += bytes;
+
+  // Transient in-flight loss (fault injection): the network timing above
+  // still happened — the bytes crossed links before being corrupted —
+  // but the destination never sees the message.
+  if (FaultHooks* hooks = machine_->fault_hooks();
+      hooks && hooks->drop_message(rank_, dst, tag, bytes, depart)) {
+    machine_->note_dropped_message();
+    return;
+  }
+
   Message msg{rank_, tag, bytes, std::move(payload)};
-  Mailbox* dst_box = &machine_->context(dst).mailbox();
-  auto deliver = [dst_box, m = std::move(msg)]() mutable {
-    dst_box->deliver(std::move(m));
+  NxMachine* machine = machine_;
+  auto deliver = [machine, dst, m = std::move(msg)]() mutable {
+    // Down-node discard is decided at arrival time: a node that crashed
+    // while the message was in flight loses it at the NIC.
+    if (!machine->node_state().up(dst)) {
+      machine->note_dropped_message();
+      return;
+    }
+    machine->context(dst).mailbox().deliver(std::move(m));
   };
   // Hottest schedule_call site in the simulator: every message delivery.
   // The capture must stay within the engine callback's inline buffer so
   // deliveries never heap-allocate (docs/PERF.md, allocation behaviour).
   static_assert(sim::Callback::fits_inline<decltype(deliver)>);
   eng.schedule_call(arrival, std::move(deliver));
-  machine_->record_message(
-      MessageTraceRecord{depart, arrival, rank_, dst, tag, bytes});
-  ++stats_.sends;
-  stats_.bytes_sent += bytes;
 }
 
 sim::Task<> NxContext::send(int dst, int tag, Bytes bytes, Payload payload) {
@@ -120,6 +136,18 @@ sim::Task<Message> NxContext::recv(int src, int tag) {
   auto& eng = machine_->engine();
   const sim::Time start = eng.now();
   Message m = co_await mailbox_.recv(src, tag);
+  co_await eng.delay(config().recv_overhead);
+  ++stats_.recvs;
+  stats_.recv_wait += eng.now() - start;
+  co_return m;
+}
+
+sim::Task<std::optional<Message>> NxContext::recv_abortable(
+    int src, int tag, sim::Trigger& abort) {
+  auto& eng = machine_->engine();
+  const sim::Time start = eng.now();
+  std::optional<Message> m = co_await mailbox_.recv_or_abort(src, tag, abort);
+  if (!m) co_return std::nullopt;
   co_await eng.delay(config().recv_overhead);
   ++stats_.recvs;
   stats_.recv_wait += eng.now() - start;

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 
 #include "core/engine.hpp"
 #include "core/task.hpp"
@@ -59,6 +60,14 @@ class NxContext {
   /// Blocking receive (NX crecv): waits for a matching message, then
   /// charges the receive software overhead.
   sim::Task<Message> recv(int src, int tag);
+
+  /// Blocking receive that can be interrupted: resolves to the message,
+  /// or to nullopt as soon as `abort` fires. Receive overhead is only
+  /// charged on success. Used by the fault-tolerance layer so a crash
+  /// elsewhere can unblock a node waiting on a peer that will never
+  /// answer.
+  sim::Task<std::optional<Message>> recv_abortable(int src, int tag,
+                                                   sim::Trigger& abort);
 
   /// Non-blocking probe (NX iprobe).
   bool probe(int src, int tag);

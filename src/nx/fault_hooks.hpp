@@ -1,0 +1,32 @@
+// Hook interface letting a fault-injection layer intercept machine
+// traffic without making nx depend on src/fault.
+//
+// The runtime consults the installed hooks (if any) once per launched
+// message; returning true models a transient in-flight loss (the link
+// reservation and timing still happen — the bytes crossed part of the
+// network before being corrupted — but the destination mailbox never
+// sees the message). Down-node discard is handled separately by the
+// runtime via proc::NodeStateTable.
+#pragma once
+
+#include "core/time.hpp"
+#include "util/units.hpp"
+
+namespace hpccsim::nx {
+
+/// Tags at or above this value belong to the fault-tolerance protocol
+/// (abortable barriers). Fault injection never drops them: the model is
+/// that the checkpoint library runs over an acknowledged transport,
+/// while application payload traffic is exposed to transient loss.
+inline constexpr int kFaultProtocolTagBase = 1 << 24;
+
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+
+  /// Return true to silently drop this message in flight.
+  virtual bool drop_message(int src, int dst, int tag, Bytes bytes,
+                            sim::Time depart) = 0;
+};
+
+}  // namespace hpccsim::nx

@@ -7,7 +7,7 @@
 namespace hpccsim::nx {
 
 NxMachine::NxMachine(proc::MachineConfig config, NetKind net)
-    : config_(std::move(config)) {
+    : config_(std::move(config)), node_state_(config_.node_count()) {
   switch (net) {
     case NetKind::AnalyticalMesh:
       net_ = std::make_unique<mesh::AnalyticalMeshNet>(config_.mesh(),

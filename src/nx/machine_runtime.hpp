@@ -12,7 +12,9 @@
 #include "mesh/analytical.hpp"
 #include "mesh/netmodel.hpp"
 #include "nx/context.hpp"
+#include "nx/fault_hooks.hpp"
 #include "proc/machine.hpp"
+#include "proc/node_state.hpp"
 
 namespace hpccsim::nx {
 
@@ -71,11 +73,27 @@ class NxMachine {
     if (trace_enabled_) trace_.push_back(rec);
   }
 
+  /// Runtime node health (all up by default; src/fault flips entries).
+  proc::NodeStateTable& node_state() { return node_state_; }
+  const proc::NodeStateTable& node_state() const { return node_state_; }
+
+  /// Install a fault-injection intercept (nullptr = none, the default).
+  /// The hooks object must outlive the machine's last message.
+  void set_fault_hooks(FaultHooks* hooks) { fault_hooks_ = hooks; }
+  FaultHooks* fault_hooks() const { return fault_hooks_; }
+
+  /// Messages lost in flight or discarded at a down node's NIC.
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+  void note_dropped_message() { ++messages_dropped_; }  ///< internal
+
  private:
   proc::MachineConfig config_;
   sim::Engine engine_;
   std::unique_ptr<mesh::NetworkModel> net_;
   std::vector<std::unique_ptr<NxContext>> contexts_;
+  proc::NodeStateTable node_state_;
+  FaultHooks* fault_hooks_ = nullptr;
+  std::uint64_t messages_dropped_ = 0;
   bool trace_enabled_ = false;
   std::vector<MessageTraceRecord> trace_;
 };

@@ -6,6 +6,10 @@ void Mailbox::deliver(Message m) {
   // Hand to the earliest-posted matching receive, if any.
   for (auto it = recvs_.begin(); it != recvs_.end(); ++it) {
     if (matches(m, it->src, it->tag)) {
+      if (it->guard) {
+        it->guard->settled = true;  // beat any pending abort callback
+        it->guard->delivered = true;
+      }
       *it->out = std::move(m);
       auto h = it->handle;
       recvs_.erase(it);
@@ -14,6 +18,12 @@ void Mailbox::deliver(Message m) {
     }
   }
   msgs_.push_back(std::move(m));
+}
+
+std::size_t Mailbox::drop_queued() {
+  const std::size_t n = msgs_.size();
+  msgs_.clear();
+  return n;
 }
 
 bool Mailbox::try_take(int src, int tag, Message& out) {

@@ -10,6 +10,8 @@
 #include <coroutine>
 #include <deque>
 #include <list>
+#include <memory>
+#include <optional>
 
 #include "core/engine.hpp"
 #include "nx/message.hpp"
@@ -39,25 +41,80 @@ class Mailbox {
       }
       void await_suspend(std::coroutine_handle<> h) {
         where = mb->recvs_.insert(mb->recvs_.end(),
-                                  PendingRecv{src, tag, &out, h});
+                                  PendingRecv{src, tag, &out, h, nullptr});
       }
       Message await_resume() { return std::move(out); }
     };
     return Awaiter{this, src, tag, {}, {}};
   }
 
+  /// Awaitable: like recv(), but also resumes (with nullopt) when
+  /// `abort` fires before a matching message arrives. Used by the
+  /// fault-tolerance layer so a crash can interrupt a blocked receive.
+  /// Ties at the same instant favour the message: a delivery scheduled
+  /// at time t settles the receive before the abort callback runs.
+  auto recv_or_abort(int src, int tag, sim::Trigger& abort) {
+    struct Awaiter {
+      Mailbox* mb;
+      int src;
+      int tag;
+      sim::Trigger* abort;
+      Message out;
+      std::shared_ptr<AbortGuard> guard;
+      bool ready_taken = false;
+
+      bool await_ready() {
+        if (mb->try_take(src, tag, out)) {
+          ready_taken = true;
+          return true;
+        }
+        return abort->fired();
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        guard = std::make_shared<AbortGuard>();
+        auto where = mb->recvs_.insert(
+            mb->recvs_.end(), PendingRecv{src, tag, &out, h, guard});
+        Mailbox* box = mb;
+        abort->on_fire([box, g = guard, where, h] {
+          if (g->settled) return;  // delivery won the race
+          g->settled = true;
+          box->recvs_.erase(where);
+          box->engine_->schedule(box->engine_->now(), h);
+        });
+      }
+      std::optional<Message> await_resume() {
+        if (ready_taken || (guard && guard->delivered))
+          return std::move(out);
+        return std::nullopt;
+      }
+    };
+    return Awaiter{this, src, tag, &abort, {}, nullptr, false};
+  }
+
   /// Non-blocking probe: is a matching message queued?
   bool probe(int src, int tag) const;
+
+  /// Discard every queued (undelivered) message; returns the count.
+  /// Called when the owning node crashes — in-memory state is lost.
+  std::size_t drop_queued();
 
   std::size_t queued() const { return msgs_.size(); }
   std::size_t waiting_receivers() const { return recvs_.size(); }
 
  private:
+  /// Shared between an abortable pending receive and the abort
+  /// trigger's callback; whichever settles first wins, the loser no-ops.
+  struct AbortGuard {
+    bool settled = false;
+    bool delivered = false;
+  };
+
   struct PendingRecv {
     int src;
     int tag;
     Message* out;
     std::coroutine_handle<> handle;
+    std::shared_ptr<AbortGuard> guard;  ///< null for plain recv()
   };
 
   static bool matches(const Message& m, int src, int tag) {

@@ -1,0 +1,41 @@
+#include "proc/node_state.hpp"
+
+namespace hpccsim::proc {
+
+NodeStateTable::NodeStateTable(std::int32_t nodes)
+    : entries_(static_cast<std::size_t>(nodes)), up_(nodes) {
+  HPCCSIM_EXPECTS(nodes > 0);
+}
+
+void NodeStateTable::set_down(std::int32_t rank, sim::Time now) {
+  HPCCSIM_EXPECTS(rank >= 0 && rank < node_count());
+  auto& e = entries_[static_cast<std::size_t>(rank)];
+  if (!e.up) return;
+  e.up = false;
+  ++e.failures;
+  e.down_since = now;
+  --up_;
+}
+
+void NodeStateTable::set_up(std::int32_t rank, sim::Time now) {
+  HPCCSIM_EXPECTS(rank >= 0 && rank < node_count());
+  auto& e = entries_[static_cast<std::size_t>(rank)];
+  if (e.up) return;
+  e.up = true;
+  e.downtime += now - e.down_since;
+  ++up_;
+}
+
+std::uint64_t NodeStateTable::total_failures() const {
+  std::uint64_t n = 0;
+  for (const auto& e : entries_) n += e.failures;
+  return n;
+}
+
+sim::Time NodeStateTable::downtime(std::int32_t rank, sim::Time now) const {
+  const Entry& e = entry(rank);
+  if (e.up) return e.downtime;
+  return e.downtime + (now - e.down_since);
+}
+
+}  // namespace hpccsim::proc

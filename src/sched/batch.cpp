@@ -38,14 +38,54 @@ bool BatchSimulator::try_start(sim::Engine& engine, std::size_t job_index) {
   job.started = true;
   job.start = engine.now();
   job.finish = job.start + job.runtime;
+  job.pid = *pid;
   busy_node_seconds_ += static_cast<double>(job.nodes) *
                         job.runtime.as_sec();
-  engine.schedule_call(job.finish, [this, &engine, job_index, p = *pid] {
-    jobs_[job_index].done = true;
-    alloc_.release(p);
-    schedule_pass(engine);
-  });
+  // The incarnation guard makes the finish event a no-op if a node
+  // failure kills this run of the job before it completes.
+  engine.schedule_call(
+      job.finish,
+      [this, &engine, job_index, inc = job.incarnation, p = *pid] {
+        Job& j = jobs_[job_index];
+        if (j.incarnation != inc) return;  // stale: job was killed
+        j.done = true;
+        alloc_.release(p);
+        schedule_pass(engine);
+      });
   return true;
+}
+
+void BatchSimulator::inject_failures(std::vector<NodeFailure> failures) {
+  for (const NodeFailure& f : failures)
+    HPCCSIM_EXPECTS(f.node >= 0 && f.node < mesh_.node_count());
+  failures_ = std::move(failures);
+}
+
+void BatchSimulator::on_failure(sim::Engine& engine, std::int32_t node) {
+  const std::int32_t x = node % mesh_.width();
+  const std::int32_t y = node / mesh_.width();
+  // Rectangles never overlap, so at most one running job holds the node.
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    Job& j = jobs_[i];
+    if (!j.started || j.done) continue;
+    const Rect& r = alloc_.rect_of(j.pid);
+    if (x < r.x || x >= r.x + r.w || y < r.y || y >= r.y + r.h) continue;
+
+    // Without checkpointing, a single dead node discards the whole
+    // partition's progress; the job restarts from scratch.
+    const double done_sec = (engine.now() - j.start).as_sec();
+    const double left_sec = j.runtime.as_sec() - done_sec;
+    busy_node_seconds_ -= static_cast<double>(j.nodes) * left_sec;
+    lost_node_seconds_ += static_cast<double>(j.nodes) * done_sec;
+    alloc_.release(j.pid);
+    ++j.incarnation;  // invalidates the pending finish event
+    j.started = false;
+    j.pid = -1;
+    ++requeued_;
+    queue_.push_front(i);
+    schedule_pass(engine);
+    return;
+  }
 }
 
 void BatchSimulator::schedule_pass(sim::Engine& engine) {
@@ -101,10 +141,17 @@ BatchResult BatchSimulator::run() {
       schedule_pass(engine);
     });
   }
+  for (const NodeFailure& f : failures_) {
+    engine.schedule_call(f.when, [this, &engine, node = f.node] {
+      on_failure(engine, node);
+    });
+  }
   engine.run();
 
   BatchResult res;
   res.backfilled = backfilled_;
+  res.requeued = requeued_;
+  res.lost_node_seconds = lost_node_seconds_;
   res.frag_samples = frag_;
   sim::Time makespan = sim::Time::zero();
   for (const Job& j : jobs_) {

@@ -35,6 +35,21 @@ struct Job {
   sim::Time finish;
   bool started = false;
   bool done = false;
+
+  // Fault bookkeeping (scheduler-internal). `incarnation` invalidates
+  // the pending finish event when a node failure kills the job.
+  std::int32_t incarnation = 0;
+  PartitionId pid = -1;
+};
+
+/// A node failure to inject into a batch run: at `when`, `node` dies,
+/// killing whatever job occupies it (the job loses all progress and is
+/// re-queued at the head). The node itself returns to service
+/// immediately — operators swapped boards within minutes, and the
+/// scheduler-level question is the lost work, not the hole.
+struct NodeFailure {
+  sim::Time when;
+  std::int32_t node = 0;
 };
 
 enum class SchedulePolicy {
@@ -51,6 +66,8 @@ struct BatchResult {
   RunningStat wait_minutes;      ///< queue wait per job
   RunningStat frag_samples;      ///< fragmentation at each schedule pass
   std::int64_t backfilled = 0;   ///< jobs started out of queue order
+  std::int64_t requeued = 0;     ///< job restarts forced by node failures
+  double lost_node_seconds = 0.0;  ///< node-seconds of discarded progress
 };
 
 class BatchSimulator {
@@ -60,6 +77,9 @@ class BatchSimulator {
   /// Submit a job (before run()); jobs may be submitted in any order.
   void submit(Job job);
 
+  /// Register node failures to fire during run() (call before run()).
+  void inject_failures(std::vector<NodeFailure> failures);
+
   /// Run to completion of all jobs; returns the metrics.
   BatchResult run();
 
@@ -68,14 +88,18 @@ class BatchSimulator {
  private:
   void schedule_pass(sim::Engine& engine);
   bool try_start(sim::Engine& engine, std::size_t job_index);
+  void on_failure(sim::Engine& engine, std::int32_t node);
 
   mesh::Mesh2D mesh_;
   SchedulePolicy policy_;
   PartitionAllocator alloc_;
   std::vector<Job> jobs_;
   std::deque<std::size_t> queue_;  // indices of waiting jobs, FCFS order
+  std::vector<NodeFailure> failures_;
   double busy_node_seconds_ = 0.0;
+  double lost_node_seconds_ = 0.0;
   std::int64_t backfilled_ = 0;
+  std::int64_t requeued_ = 0;
   RunningStat frag_;
 };
 

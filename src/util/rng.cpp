@@ -28,4 +28,26 @@ double Rng::exponential(double rate) {
   return -std::log(1.0 - uniform()) / rate;
 }
 
+double Rng::weibull(double shape, double scale) {
+  HPCCSIM_EXPECTS(shape > 0.0);
+  HPCCSIM_EXPECTS(scale > 0.0);
+  // Inversion: scale * (-ln(1 - u))^(1/shape).
+  return scale * std::pow(-std::log(1.0 - uniform()), 1.0 / shape);
+}
+
+Rng named_substream(std::uint64_t seed, std::string_view name,
+                    std::uint64_t index) {
+  // FNV-1a over the name, then SplitMix64 whitening of each component in
+  // sequence. Fixed algorithms, so streams are stable across platforms.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  SplitMix64 mix(seed);
+  std::uint64_t s = mix.next() ^ h;
+  SplitMix64 mix2(s);
+  return Rng(mix2.next() ^ (index * 0x9e3779b97f4a7c15ULL));
+}
+
 }  // namespace hpccsim

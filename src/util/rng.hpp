@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -92,6 +93,10 @@ class Rng {
   /// Exponential with the given rate parameter (mean 1/rate).
   double exponential(double rate);
 
+  /// Weibull(shape, scale) by inversion. shape < 1 gives the decreasing
+  /// hazard rate ("infant mortality") observed in real HPC failure logs.
+  double weibull(double shape, double scale);
+
   /// Fisher–Yates shuffle.
   template <class T>
   void shuffle(std::vector<T>& v) {
@@ -113,5 +118,15 @@ class Rng {
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
 };
+
+/// Derive a named, draw-order-independent substream of a root seed.
+///
+/// The returned generator depends only on (seed, name, index) — never on
+/// how many values any other stream has consumed — so a new subsystem
+/// (e.g. fault injection) can draw from its own streams without
+/// perturbing existing consumers: every run that disables the subsystem
+/// is byte-identical to one that never linked it.
+Rng named_substream(std::uint64_t seed, std::string_view name,
+                    std::uint64_t index = 0);
 
 }  // namespace hpccsim

@@ -734,6 +734,94 @@ TEST(EngineAllocation, SmallCaptureScheduleCallIsAllocationFree) {
   EXPECT_EQ(sink, 64u + 1000u * 3u + 999u * 1000u / 2u);
 }
 
+// ------------------------------------------ abortable primitives --
+
+TEST(Trigger, OnFireRunsAtFireInstant) {
+  Engine e;
+  auto fired_at = Time::zero();
+  Trigger t(e);
+  t.on_fire([&e, &fired_at] { fired_at = e.now(); });
+  e.schedule_call(Time::us(7), [&t] { t.fire(); });
+  e.run();
+  EXPECT_EQ(fired_at, Time::us(7));
+}
+
+TEST(Trigger, OnFireAfterFiredRunsAtCurrentInstant) {
+  Engine e;
+  Trigger t(e);
+  t.fire();
+  int runs = 0;
+  t.on_fire([&runs] { ++runs; });
+  e.run();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(AbortableDelay, CompletesWhenNotAborted) {
+  Engine e;
+  Trigger abort(e);
+  bool completed = false;
+  Time end;
+  e.spawn([](Engine& eng, Trigger& a, bool& c, Time& t) -> Task<> {
+    c = co_await abortable_delay(eng, Time::us(50), a);
+    t = eng.now();
+  }(e, abort, completed, end));
+  e.run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(end, Time::us(50));
+}
+
+TEST(AbortableDelay, AbortCutsDelayShort) {
+  Engine e;
+  Trigger abort(e);
+  bool completed = true;
+  Time end;
+  e.spawn([](Engine& eng, Trigger& a, bool& c, Time& t) -> Task<> {
+    c = co_await abortable_delay(eng, Time::us(100), a);
+    t = eng.now();
+  }(e, abort, completed, end));
+  e.schedule_call(Time::us(30), [&abort] { abort.fire(); });
+  e.run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(end, Time::us(30));
+}
+
+TEST(AbortableDelay, AlreadyFiredAbortReturnsImmediately) {
+  Engine e;
+  Trigger abort(e);
+  abort.fire();
+  bool completed = true;
+  e.spawn([](Engine& eng, Trigger& a, bool& c) -> Task<> {
+    c = co_await abortable_delay(eng, Time::us(100), a);
+  }(e, abort, completed));
+  e.run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(e.now(), Time::zero());
+}
+
+TEST(RaceTriggers, FirstToFireWins) {
+  Engine e;
+  Trigger a(e), b(e);
+  bool a_won = false;
+  e.spawn([](Trigger& x, Trigger& y, bool& won) -> Task<> {
+    won = co_await race_triggers(x, y);
+  }(a, b, a_won));
+  e.schedule_call(Time::us(5), [&b] { b.fire(); });
+  e.schedule_call(Time::us(9), [&a] { a.fire(); });
+  e.run();
+  EXPECT_FALSE(a_won);
+
+  // And the mirror image: `a` first.
+  Engine e2;
+  Trigger a2(e2), b2(e2);
+  bool a2_won = false;
+  e2.spawn([](Trigger& x, Trigger& y, bool& won) -> Task<> {
+    won = co_await race_triggers(x, y);
+  }(a2, b2, a2_won));
+  e2.schedule_call(Time::us(5), [&a2] { a2.fire(); });
+  e2.run();
+  EXPECT_TRUE(a2_won);
+}
+
 TEST(EngineAllocation, OversizedCaptureStillWorks) {
   Engine e;
   std::uint64_t sink = 0;

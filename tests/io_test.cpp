@@ -178,6 +178,30 @@ TEST(CfsMore, InterleavedReadersAndWriters) {
   EXPECT_GT(fs.stats().disk_busy, sim::Time::zero());
 }
 
+TEST(CfsMore, EstimateWriteTimeTracksGeometry) {
+  nx::NxMachine machine(small_machine());
+  Cfs fs(machine);
+  // Closed form: busiest disk's seeks + its share of the streamed bytes.
+  const Bytes total = 4 * MiB;
+  const Time est = fs.estimate_write_time(total);
+  EXPECT_GT(est, Time::zero());
+  // Doubling the data at least doubles neither-nothing: estimate is
+  // monotone and roughly linear once seeks amortize.
+  const Time est2 = fs.estimate_write_time(2 * total);
+  EXPECT_GT(est2, est);
+  EXPECT_LT(est2.as_sec(), est.as_sec() * 2.5);
+  // And the estimate brackets an actual single-writer simulation to
+  // within the mesh/ack costs it deliberately ignores.
+  std::vector<nx::NxMachine::Program> progs(
+      16, [](nx::NxContext&) -> Task<> { co_return; });
+  progs[0] = [&fs, total](nx::NxContext& ctx) -> Task<> {
+    co_await fs.write(ctx, 0, total);
+  };
+  const Time actual = machine.run_each(progs);
+  EXPECT_GT(actual.as_sec(), est.as_sec() * 0.5);
+  EXPECT_LT(actual.as_sec(), est.as_sec() * 2.0);
+}
+
 TEST(CfsMore, ZeroByteOperationRejected) {
   nx::NxMachine machine(small_machine());
   Cfs fs(machine);

@@ -245,6 +245,28 @@ TEST(Batch, WorkloadGeneratorIsDeterministicAndBounded) {
   }
 }
 
+TEST(Batch, NodeFailureRequeuesVictimJob) {
+  BatchSimulator sim(Mesh2D(8, 8), SchedulePolicy::FCFS);
+  sim.submit(mk_job("victim", 64, 30, 0));  // fills the whole mesh
+  // Node 0 dies 10 minutes in: the job loses its progress and reruns.
+  sim.inject_failures({{Time::sec(10 * 60), 0}});
+  const BatchResult r = sim.run();
+  EXPECT_EQ(r.requeued, 1);
+  EXPECT_NEAR(r.lost_node_seconds, 64.0 * 600.0, 1e-6);
+  // Restarted immediately at t=10 min, full 30-minute rerun.
+  EXPECT_EQ(r.makespan, Time::sec(40 * 60));
+}
+
+TEST(Batch, FailureOnIdleNodeIsHarmless) {
+  BatchSimulator sim(Mesh2D(8, 8), SchedulePolicy::FCFS);
+  sim.submit(mk_job("a", 4, 30, 0));  // leaves most of the mesh idle
+  sim.inject_failures({{Time::sec(10 * 60), 63}});  // far corner
+  const BatchResult r = sim.run();
+  EXPECT_EQ(r.requeued, 0);
+  EXPECT_EQ(r.lost_node_seconds, 0.0);
+  EXPECT_EQ(r.makespan, Time::sec(30 * 60));
+}
+
 TEST(Batch, RejectsOversizedJob) {
   BatchSimulator sim(Mesh2D(4, 4), SchedulePolicy::FCFS);
   EXPECT_THROW(sim.submit(mk_job("too-big", 17, 10, 0)), ContractError);
