@@ -10,6 +10,7 @@
 
 #include "nx/collectives.hpp"
 #include "nx/machine_runtime.hpp"
+#include "obs/metrics.hpp"
 #include "proc/machine.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
@@ -50,6 +51,7 @@ int main(int argc, char** argv) {
                  "collective algorithms on the 528-node Delta");
   args.add_option("nodes", "node count (0 = full machine)", "0");
   args.add_jobs_option();
+  args.add_json_option();
   args.add_flag("csv", "emit CSV");
   try {
     args.parse(argc, argv);
@@ -112,5 +114,13 @@ int main(int argc, char** argv) {
               "worst for small payloads; flat fan-out is root-bound "
               "(527 serial sends) and catches ring only at large "
               "payloads\n");
+
+  obs::BenchMetrics bm("ablate_collectives");
+  bm.config("nodes", static_cast<std::int64_t>(mc.node_count()));
+  for (const double cell_us : us) bm.add_sim_time(sim::Time::us(cell_us));
+  const std::size_t last = sizes.size() - 1;
+  bm.metric("bcast_binomial_1mb_us", us[last * kinds.size() + 0]);
+  bm.metric("allreduce_binomial_1mb_us", us[last * kinds.size() + 3]);
+  bm.write_file(args.json_path());
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "linalg/distlu.hpp"
+#include "obs/metrics.hpp"
 #include "proc/machine.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
@@ -19,11 +20,17 @@ namespace {
 
 using namespace hpccsim;
 
-double run_gflops(const proc::MachineConfig& mc, nx::NetKind net,
-                  std::int64_t n) {
+struct CellResult {
+  double gflops = 0.0;
+  sim::Time elapsed;
+};
+
+CellResult run_cell(const proc::MachineConfig& mc, nx::NetKind net,
+                    std::int64_t n) {
   nx::NxMachine machine(mc, net);
   linalg::LuConfig cfg = linalg::lu_config_for(machine, n, 64);
-  return linalg::run_distributed_lu(machine, cfg).gflops;
+  const linalg::LuResult r = linalg::run_distributed_lu(machine, cfg);
+  return {r.gflops, r.elapsed};
 }
 
 }  // namespace
@@ -32,6 +39,7 @@ int main(int argc, char** argv) {
   ArgParser args("ablate_network", "interconnect ablation for the LU run");
   args.add_option("n", "problem orders", "5000,15000,25000");
   args.add_jobs_option();
+  args.add_json_option();
   args.add_flag("csv", "emit CSV");
   try {
     args.parse(argc, argv);
@@ -75,15 +83,15 @@ int main(int argc, char** argv) {
   // Every (variant, n) cell is an independent LU simulation: flatten the
   // grid into one parallel_for and assemble rows after the join.
   const std::size_t n_variants = std::size(variants);
-  std::vector<double> cells(n_variants * orders.size());
+  std::vector<CellResult> cells(n_variants * orders.size());
   parallel_for(cells.size(), args.jobs(), [&](std::size_t i) {
     const Variant& v = variants[i / orders.size()];
-    cells[i] = run_gflops(v.mc, v.net, orders[i % orders.size()]);
+    cells[i] = run_cell(v.mc, v.net, orders[i % orders.size()]);
   });
   for (std::size_t vi = 0; vi < n_variants; ++vi) {
     std::vector<std::string> row{variants[vi].name};
     for (std::size_t oi = 0; oi < orders.size(); ++oi)
-      row.push_back(Table::num(cells[vi * orders.size() + oi], 2));
+      row.push_back(Table::num(cells[vi * orders.size() + oi].gflops, 2));
     t.add_row(std::move(row));
   }
   std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());
@@ -91,5 +99,13 @@ int main(int argc, char** argv) {
               "most at small n (latency-bound panels); channel bandwidth "
               "matters more as n grows (panel/U broadcasts); the ideal "
               "crossbar bounds the total network contribution\n");
+
+  obs::BenchMetrics bm("ablate_network");
+  bm.config("n", args.str("n"));
+  for (const CellResult& c : cells) bm.add_sim_time(c.elapsed);
+  // Headline: baseline vs ideal-crossbar GFLOPS at the largest n.
+  bm.metric("baseline_gflops", cells[orders.size() - 1].gflops);
+  bm.metric("crossbar_gflops", cells[2 * orders.size() - 1].gflops);
+  bm.write_file(args.json_path());
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "mesh/flit.hpp"
 #include "mesh/traffic.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
   ArgParser args("ablate_routing", "XY vs west-first adaptive routing");
   args.add_option("width", "mesh width", "8");
   args.add_option("height", "mesh height", "8");
+  args.add_json_option();
   args.add_flag("csv", "emit CSV");
   try {
     args.parse(argc, argv);
@@ -65,12 +67,15 @@ int main(int argc, char** argv) {
               mesh.describe().c_str());
   Table t({"pattern", "gap (us)", "xy mean (us)", "west-first mean (us)",
            "adaptive gain"});
+  double xy_total_us = 0.0, wf_total_us = 0.0;
   for (const Pattern p : {Pattern::UniformRandom, Pattern::Transpose,
                           Pattern::HotSpot}) {
     for (const double gap : {300.0, 80.0, 40.0}) {
       const double xy = mean_latency_us(mesh, RouteAlgo::XY, p, gap, 77);
       const double wf =
           mean_latency_us(mesh, RouteAlgo::WestFirst, p, gap, 77);
+      xy_total_us += xy;
+      wf_total_us += wf;
       t.add_row({pattern_name(p), Table::num(gap, 0), Table::num(xy, 1),
                  Table::num(wf, 1), Table::percent(xy / wf - 1.0, 1)});
     }
@@ -82,5 +87,15 @@ int main(int argc, char** argv) {
               "hotspot traffic (the ejection port is the bottleneck, no "
               "route avoids it); and a LOSS on deeply saturated uniform "
               "traffic, where adaptive misrouting spreads congestion\n");
+
+  obs::BenchMetrics bm("ablate_routing");
+  bm.config("width", args.integer("width"));
+  bm.config("height", args.integer("height"));
+  // Sum of per-point mean latencies: a deterministic simulated quantity
+  // for the CI drift gate (this bench has no single engine clock).
+  bm.add_sim_time(sim::Time::us(xy_total_us + wf_total_us));
+  bm.metric("xy_mean_us_total", xy_total_us);
+  bm.metric("west_first_mean_us_total", wf_total_us);
+  bm.write_file(args.json_path());
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "linalg/cg.hpp"
+#include "obs/metrics.hpp"
 #include "proc/machine.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
                   "512");
   args.add_option("iters", "modeled iterations per point", "100");
   args.add_jobs_option();
+  args.add_json_option();
   args.add_flag("csv", "emit CSV");
   try {
     args.parse(argc, argv);
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
   // points in parallel, render rows in order after the join.
   const std::vector<int> node_counts{16, 64, 256, 528};
   std::vector<std::vector<std::string>> rows(node_counts.size());
+  std::vector<linalg::CgResult> results(node_counts.size());
   parallel_for(node_counts.size(), args.jobs(), [&](std::size_t i) {
     const int nodes = node_counts[i];
     const proc::MachineConfig mc = proc::touchstone_delta().with_nodes(nodes);
@@ -62,11 +65,24 @@ int main(int argc, char** argv) {
                    static_cast<Bytes>(nodes))),
                Table::integer(static_cast<std::int64_t>(
                    r.messages / static_cast<std::uint64_t>(iters)))};
+    results[i] = r;
   });
   for (auto& row : rows) t.add_row(std::move(row));
   std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());
   std::printf("expected: per-iteration time grows slowly with node count "
               "under weak scaling — the log(P) allreduce critical path, "
               "not the constant-size halos, is what grows\n");
+
+  obs::BenchMetrics bm("asta_cg_scaling");
+  bm.config("grid", base_grid);
+  bm.config("iters", static_cast<std::int64_t>(iters));
+  std::int64_t messages = 0;
+  for (const linalg::CgResult& r : results) {
+    bm.add_sim_time(r.elapsed);
+    messages += static_cast<std::int64_t>(r.messages);
+  }
+  bm.metric("messages", messages);
+  bm.metric("us_per_iter_528", results.back().per_iteration().as_us());
+  bm.write_file(args.json_path());
   return 0;
 }

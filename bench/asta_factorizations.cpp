@@ -9,6 +9,7 @@
 
 #include "linalg/distlu.hpp"
 #include "linalg/distqr.hpp"
+#include "obs/metrics.hpp"
 #include "proc/machine.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   ArgParser args("asta_factorizations", "LU vs QR on the simulated Delta");
   args.add_option("n", "problem orders", "1000,2000,4000,8000");
   args.add_option("nodes", "node count (0 = full 528)", "64");
+  args.add_json_option();
   args.add_flag("csv", "emit CSV");
   try {
     args.parse(argc, argv);
@@ -36,6 +38,11 @@ int main(int argc, char** argv) {
   std::printf("== A10: LU vs QR on %s (%d nodes) ==\n", mc.name.c_str(),
               mc.node_count());
 
+  obs::BenchMetrics bm("asta_factorizations");
+  bm.config("n", args.str("n"));
+  bm.config("nodes", static_cast<std::int64_t>(mc.node_count()));
+  double lu_gflops_last = 0.0, qr_gflops_last = 0.0;
+
   Table t({"n", "LU time (s)", "LU GFLOPS", "QR time (s)", "QR GFLOPS",
            "QR/LU time"});
   for (const std::int64_t n : args.int_list("n")) {
@@ -51,6 +58,10 @@ int main(int argc, char** argv) {
     qc.mode = linalg::ExecMode::Modeled;
     const auto qr = linalg::run_distributed_qr(qr_machine, qc);
 
+    bm.add_sim_time(lu.elapsed);
+    bm.add_sim_time(qr.elapsed);
+    lu_gflops_last = lu.gflops;
+    qr_gflops_last = qr.gflops;
     t.add_row({Table::integer(n), Table::num(lu.elapsed.as_sec(), 2),
                Table::num(lu.gflops, 2), Table::num(qr.elapsed.as_sec(), 2),
                Table::num(qr.gflops, 2),
@@ -62,5 +73,9 @@ int main(int argc, char** argv) {
               "n grows QR's 2x flops and reduction-bound panel push its "
               "time toward 2x LU's, while its headline GFLOPS (4/3 n^3) "
               "stays ~2x LU's by construction\n");
+
+  bm.metric("lu_gflops_last", lu_gflops_last);
+  bm.metric("qr_gflops_last", qr_gflops_last);
+  bm.write_file(args.json_path());
   return 0;
 }

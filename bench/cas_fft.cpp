@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "linalg/fft.hpp"
+#include "obs/metrics.hpp"
 #include "proc/machine.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   using namespace hpccsim;
   ArgParser args("cas_fft", "distributed four-step FFT on the Delta");
   args.add_jobs_option();
+  args.add_json_option();
   args.add_flag("csv", "emit CSV");
   try {
     args.parse(argc, argv);
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
   // One independent simulated machine per point: parallelize the sweep,
   // render rows in order after the join.
   std::vector<std::vector<std::string>> rows(std::size(points));
+  std::vector<linalg::FftResult> results(rows.size());
   parallel_for(rows.size(), args.jobs(), [&](std::size_t i) {
     const Pt& p = points[i];
     const proc::MachineConfig mc =
@@ -62,6 +65,7 @@ int main(int argc, char** argv) {
                Table::num(r.elapsed.as_ms(), 1), Table::num(r.mflops, 0),
                Table::num(r.mflops / peak_mflops * 100.0, 1),
                Table::num(static_cast<double>(r.bytes_moved) / 1e9, 3)};
+    results[i] = r;
   });
   for (auto& row : rows) t.add_row(std::move(row));
   std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());
@@ -69,5 +73,15 @@ int main(int argc, char** argv) {
               "— it is bisection-bandwidth bound, the reason spectral "
               "codes pushed for the gigabit NREN interconnects the paper "
               "funds\n");
+
+  obs::BenchMetrics bm("cas_fft");
+  std::int64_t bytes_moved = 0;
+  for (const linalg::FftResult& r : results) {
+    bm.add_sim_time(r.elapsed);
+    bytes_moved += static_cast<std::int64_t>(r.bytes_moved);
+  }
+  bm.metric("bytes_moved", bytes_moved);
+  bm.metric("mflops_last", results.back().mflops);
+  bm.write_file(args.json_path());
   return 0;
 }

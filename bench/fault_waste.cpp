@@ -19,6 +19,8 @@
 #include "fault/injector.hpp"
 #include "fault/stats.hpp"
 #include "io/cfs.hpp"
+#include "obs/counters.hpp"
+#include "obs/metrics.hpp"
 #include "proc/machine.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
@@ -32,6 +34,7 @@ using sim::Time;
 struct SweepPoint {
   Time interval;
   fault::WasteReport report;
+  obs::Registry counters;
 };
 
 struct Scenario {
@@ -69,7 +72,8 @@ Scenario build_scenario(std::int64_t nodes, double mtbf_hours,
   return s;
 }
 
-fault::WasteReport run_point(const Scenario& s, Time interval) {
+fault::WasteReport run_point(const Scenario& s, Time interval,
+                             obs::Registry& reg) {
   nx::NxMachine machine(s.mc);
   fault::FaultInjector injector(machine, s.fc);
   io::Cfs cfs(machine, s.io);
@@ -77,6 +81,9 @@ fault::WasteReport run_point(const Scenario& s, Time interval) {
   cc.interval = interval;
   fault::CheckpointedRun run(machine, injector, &cfs, cc);
   run.execute();
+  injector.export_counters(reg);
+  cfs.export_counters(reg);
+  run.export_counters(reg);
   return run.report();
 }
 
@@ -92,6 +99,7 @@ int main(int argc, char** argv) {
   args.add_flag("weibull", "Weibull(0.7) lifetimes instead of exponential");
   args.add_flag("csv", "emit CSV");
   args.add_jobs_option();
+  args.add_json_option();
   try {
     args.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -135,7 +143,7 @@ int main(int argc, char** argv) {
   std::vector<SweepPoint> points(grid.size());
   parallel_for(points.size(), args.jobs(), [&](std::size_t i) {
     points[i].interval = Time::sec(daly.as_sec() * grid[i]);
-    points[i].report = run_point(s, points[i].interval);
+    points[i].report = run_point(s, points[i].interval, points[i].counters);
   });
 
   Table t({"interval (s)", "elapsed (h)", "waste %", "useful %", "ckpt %",
@@ -182,5 +190,21 @@ int main(int argc, char** argv) {
   std::printf("verdict: %s (U-shape %s, minimum within %.0f%% of Daly)\n",
               u_shape && rel <= 0.20 ? "PASS" : "CHECK",
               u_shape ? "yes" : "no", rel * 100.0);
+
+  obs::BenchMetrics bm("fault_waste");
+  bm.config("nodes", args.integer("nodes"));
+  bm.config("mtbf_hours", args.real("mtbf-hours"));
+  bm.config("work_hours", args.real("work-hours"));
+  bm.config("seed", args.integer("seed"));
+  obs::Registry totals;
+  for (const SweepPoint& p : points) {
+    bm.add_sim_time(p.report.elapsed);
+    totals.merge(p.counters);
+  }
+  bm.metric("best_interval_s", best_i.as_sec());
+  bm.metric("waste_min_pct", 100.0 * points[best].report.waste_fraction());
+  bm.metric("crashes", totals.value("fault.crashes"));
+  bm.attach_counters(totals);
+  bm.write_file(args.json_path());
   return 0;
 }

@@ -10,9 +10,13 @@
 // compute) and reports GFLOPS, efficiency against the 32 GFLOPS peak,
 // and the communication/computation split. The paper's operating point
 // is the n = 25,000 row.
+#include <algorithm>
 #include <cstdio>
 
 #include "linalg/distlu.hpp"
+#include "nx/machine_runtime.hpp"
+#include "obs/counters.hpp"
+#include "obs/metrics.hpp"
 #include "proc/machine.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
@@ -26,6 +30,7 @@ int main(int argc, char** argv) {
                   "1000,2500,5000,10000,15000,20000,25000");
   args.add_option("nb", "block size", "64");
   args.add_jobs_option();
+  args.add_json_option();
   args.add_flag("csv", "emit CSV");
   args.add_flag("nb-sweep", "also sweep the block size at n=25000");
   try {
@@ -50,9 +55,16 @@ int main(int argc, char** argv) {
   // byte-identical at any --jobs value.
   const int jobs = args.jobs();
   const std::vector<std::int64_t> orders = args.int_list("n");
+  obs::BenchMetrics bm("fig1_linpack");
+  bm.config("machine", args.str("machine"));
+  bm.config("n", args.str("n"));
+  bm.config("nb", args.integer("nb"));
+
   Table t({"n", "NB", "time (s)", "GFLOPS", "% of peak", "messages",
            "GB moved"});
   std::vector<std::vector<std::string>> rows(orders.size());
+  std::vector<linalg::LuResult> results(orders.size());
+  std::vector<obs::Registry> regs(orders.size());
   parallel_for(orders.size(), jobs, [&](std::size_t i) {
     const std::int64_t n = orders[i];
     nx::NxMachine machine(mc);
@@ -64,11 +76,30 @@ int main(int argc, char** argv) {
                Table::num(r.gflops / peak * 100.0, 1),
                Table::integer(static_cast<std::int64_t>(r.messages)),
                Table::num(static_cast<double>(r.bytes_moved) / 1e9, 2)};
+    results[i] = r;
+    regs[i] = machine.snapshot_counters();
   });
   for (auto& row : rows) t.add_row(std::move(row));
   std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());
   std::printf("paper's operating point: n=25000 -> ~13 GFLOPS "
               "(~40%% of the 32 GFLOPS peak)\n\n");
+
+  // Aggregate in sweep-index order: byte-identical at any --jobs.
+  obs::Registry totals;
+  double gflops_max = 0.0;
+  std::int64_t messages = 0, bytes_moved = 0;
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    totals.merge(regs[i]);
+    bm.add_sim_time(results[i].elapsed);
+    gflops_max = std::max(gflops_max, results[i].gflops);
+    messages += static_cast<std::int64_t>(results[i].messages);
+    bytes_moved += static_cast<std::int64_t>(results[i].bytes_moved);
+  }
+  bm.metric("gflops_max", gflops_max);
+  bm.metric("messages", messages);
+  bm.metric("bytes_moved", bytes_moved);
+  bm.attach_counters(totals);
+  bm.write_file(args.json_path());
 
   if (args.flag("nb-sweep")) {
     std::printf("== F1b: block-size sensitivity at n=25000 ==\n");

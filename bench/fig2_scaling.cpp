@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "linalg/distlu.hpp"
+#include "obs/metrics.hpp"
 #include "proc/machine.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
@@ -32,6 +33,7 @@ struct Sweep {
 struct PointResult {
   std::int64_t n = 0;
   double gflops = 0.0;
+  sim::Time elapsed;
 };
 
 }  // namespace
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
   args.add_option("n", "base problem order (at 16 nodes for weak scaling)",
                   "4000");
   args.add_jobs_option();
+  args.add_json_option();
   args.add_flag("csv", "emit CSV");
   try {
     args.parse(argc, argv);
@@ -83,7 +86,7 @@ int main(int argc, char** argv) {
                         std::sqrt(static_cast<double>(nodes) / 16.0));
     linalg::LuConfig cfg = linalg::lu_config_for(machine, n, 64);
     const linalg::LuResult r = linalg::run_distributed_lu(machine, cfg);
-    results[i] = {n, r.gflops};
+    results[i] = {n, r.gflops, r.elapsed};
   });
 
   Table t({"machine", "mode", "nodes", "n", "GFLOPS", "MFLOPS/node",
@@ -108,5 +111,17 @@ int main(int argc, char** argv) {
               "nodes on the Delta; strong scaling at fixed n decays; the "
               "iPSC/860-class network decays sooner (slower links, higher "
               "software overhead)\n");
+
+  obs::BenchMetrics bm("fig2_scaling");
+  bm.config("n", n_base);
+  for (const PointResult& r : results) bm.add_sim_time(r.elapsed);
+  // Headline: the full-machine Delta weak-scaling point (sweep 0, last
+  // node count) and its efficiency against the 16-node row.
+  const PointResult& full = results[kPointsPerSweep - 1];
+  const double per_node_16 = results[0].gflops / kNodeCounts[0];
+  bm.metric("delta_weak_gflops_528", full.gflops);
+  bm.metric("delta_weak_eff_528",
+            full.gflops / kNodeCounts[kPointsPerSweep - 1] / per_node_16);
+  bm.write_file(args.json_path());
   return 0;
 }

@@ -7,6 +7,7 @@
 // Delta at Caltech — which is what consortium membership was for.
 #include <cstdio>
 
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
                  "Delta Consortium connectivity and transfer times");
   args.add_option("mb", "dataset sizes to transfer (MB, comma-separated)",
                   "1,100");
+  args.add_json_option();
   args.add_flag("csv", "emit CSV");
   try {
     args.parse(argc, argv);
@@ -44,6 +46,10 @@ int main(int argc, char** argv) {
   }
   emit(links);
 
+  obs::BenchMetrics bm("fig3_consortium");
+  bm.config("mb", args.str("mb"));
+  std::int64_t transfers = 0;
+
   const wan::SiteId delta = net.site_by_name("Caltech-Delta");
   for (const std::int64_t mb : args.int_list("mb")) {
     const Bytes bytes = static_cast<Bytes>(mb) * 1000 * 1000;
@@ -55,6 +61,8 @@ int main(int argc, char** argv) {
       if (s == delta) continue;
       const auto r = net.transfer(delta, s, bytes);
       if (!r) continue;
+      bm.add_sim_time(r->duration);
+      ++transfers;
       t.add_row({net.site_name(s),
                  Table::integer(static_cast<std::int64_t>(r->path.size()) - 1),
                  format_rate(r->bottleneck), r->duration.str(),
@@ -65,5 +73,9 @@ int main(int argc, char** argv) {
   std::printf("expected shape: CASA HIPPI partners (JPL, Los Alamos, SDSC) "
               "are ~500x faster than T1 tails; the 56 kbps site is the "
               "long pole by another ~25x\n");
+
+  bm.metric("transfers", transfers);
+  bm.metric("links", static_cast<std::int64_t>(net.links().size()));
+  bm.write_file(args.json_path());
   return 0;
 }

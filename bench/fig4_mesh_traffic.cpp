@@ -4,10 +4,12 @@
 // harness characterizes it the way the interconnect literature does:
 // offered load vs delivered latency for the classic traffic patterns,
 // on the full 33 x 16 mesh with the analytical contention model.
+#include <algorithm>
 #include <cstdio>
 
 #include "mesh/analytical.hpp"
 #include "mesh/traffic.hpp"
+#include "obs/metrics.hpp"
 #include "proc/machine.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
@@ -21,6 +23,7 @@ int main(int argc, char** argv) {
   args.add_option("messages", "messages per node per point", "200");
   args.add_option("bytes", "message size in bytes", "1024");
   args.add_jobs_option();
+  args.add_json_option();
   args.add_flag("csv", "emit CSV");
   try {
     args.parse(argc, argv);
@@ -51,6 +54,8 @@ int main(int argc, char** argv) {
   Table t({"pattern", "gap (us)", "offered MB/s/node", "mean lat (us)",
            "p95 lat (us)", "mean queue (us)"});
   std::vector<std::vector<std::string>> rows(patterns.size() * gaps.size());
+  std::vector<sim::Time> spans(rows.size());
+  std::vector<double> means(rows.size());
   parallel_for(rows.size(), args.jobs(), [&](std::size_t i) {
     const Pattern p = patterns[i / gaps.size()];
     const double gap_us = gaps[i % gaps.size()];
@@ -65,13 +70,17 @@ int main(int argc, char** argv) {
     AnalyticalMeshNet net(mesh, mc.net);
     RunningStat latency_us;
     LogHistogram hist;
+    sim::Time span = sim::Time::zero();
     for (const auto& rec : trace) {
       const sim::Time arr = net.transfer(rec.src, rec.dst, rec.bytes,
                                          rec.depart);
       const double lat = (arr - rec.depart).as_us();
       latency_us.add(lat);
       hist.add(lat);
+      span = std::max(span, arr);
     }
+    spans[i] = span;
+    means[i] = latency_us.mean();
     const double offered =
         static_cast<double>(cfg.message_bytes) / (gap_us * 1e-6) / 1e6;
     rows[i] = {pattern_name(p), Table::num(gap_us, 0),
@@ -84,5 +93,17 @@ int main(int argc, char** argv) {
   std::printf("expected shape: latency flat at low load, knee near channel "
               "saturation; hotspot saturates first, nearest-neighbour "
               "last; transpose/bit-reversal stress the bisection\n");
+
+  obs::BenchMetrics bm("fig4_mesh_traffic");
+  bm.config("messages", args.integer("messages"));
+  bm.config("bytes", args.integer("bytes"));
+  double mean_max = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    bm.add_sim_time(spans[i]);
+    mean_max = std::max(mean_max, means[i]);
+  }
+  bm.metric("points", static_cast<std::int64_t>(rows.size()));
+  bm.metric("mean_latency_us_max", mean_max);
+  bm.write_file(args.json_path());
   return 0;
 }

@@ -6,9 +6,12 @@
 // checkpoint (every node writes its local partition) as a function of
 // disk count — the era's canonical demonstration that compute scaled
 // faster than I/O (the original "I/O wall").
+#include <algorithm>
 #include <cstdio>
 
 #include "io/cfs.hpp"
+#include "obs/counters.hpp"
+#include "obs/metrics.hpp"
 #include "proc/machine.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -19,7 +22,7 @@ using namespace hpccsim;
 using sim::Task;
 using sim::Time;
 
-Time checkpoint_time(int disks, std::int64_t n) {
+Time checkpoint_time(int disks, std::int64_t n, obs::Registry& reg) {
   const proc::MachineConfig mc = proc::touchstone_delta();
   nx::NxMachine machine(mc);
   io::CfsConfig cfg;
@@ -41,6 +44,7 @@ Time checkpoint_time(int disks, std::int64_t n) {
         per_node);
     makespan = std::max(makespan, ctx.now());
   });
+  fs.export_counters(reg);
   return makespan;
 }
 
@@ -49,6 +53,7 @@ Time checkpoint_time(int disks, std::int64_t n) {
 int main(int argc, char** argv) {
   ArgParser args("io_checkpoint", "CFS checkpoint of the LINPACK matrix");
   args.add_option("n", "matrix order to checkpoint", "25000");
+  args.add_json_option();
   args.add_flag("csv", "emit CSV");
   try {
     args.parse(argc, argv);
@@ -66,10 +71,19 @@ int main(int argc, char** argv) {
       static_cast<double>(n) * static_cast<double>(n) * 8.0 / 1e9;
   std::printf("== A9: checkpointing the n=%lld matrix (%.1f GB) via CFS ==\n",
               static_cast<long long>(n), gb);
+  obs::BenchMetrics bm("io_checkpoint");
+  bm.config("n", n);
+  obs::Registry totals;
+  double best_mbs = 0.0;
+
   Table t({"disks", "checkpoint time", "aggregate MB/s",
            "vs factorization (813 s)"});
   for (const int disks : {8, 16, 32, 64}) {
-    const Time tchk = checkpoint_time(disks, n);
+    obs::Registry reg;
+    const Time tchk = checkpoint_time(disks, n, reg);
+    bm.add_sim_time(tchk);
+    totals.merge(reg);
+    best_mbs = std::max(best_mbs, gb * 1000.0 / tchk.as_sec());
     t.add_row({Table::integer(disks), tchk.str(),
                Table::num(gb * 1000.0 / tchk.as_sec(), 1),
                Table::num(tchk.as_sec() / 813.0 * 100.0, 0) + "%"});
@@ -79,5 +93,10 @@ int main(int argc, char** argv) {
               "fraction of the factorization it protects — the I/O wall "
               "that drove the parallel-I/O research the ASTA component "
               "funded\n");
+
+  bm.metric("bytes_written", totals.value("cfs.bytes_written"));
+  bm.metric("aggregate_mbs_best", best_mbs);
+  bm.attach_counters(totals);
+  bm.write_file(args.json_path());
   return 0;
 }

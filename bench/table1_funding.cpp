@@ -5,12 +5,14 @@
 #include <cstdio>
 
 #include "hpcc/program.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace hpccsim;
   ArgParser args("table1_funding",
                  "Reproduces the paper's FY92-93 HPCC funding table");
+  args.add_json_option();
   args.add_flag("csv", "emit CSV instead of aligned text");
   args.add_flag("markdown", "emit Markdown tables");
   try {
@@ -46,5 +48,10 @@ int main(int argc, char** argv) {
   std::printf("paper check: FY92 total $%.1fM (paper: 654.8), "
               "FY93 total $%.1fM (paper: 802.9)\n",
               hpcc::total_fy1992(), hpcc::total_fy1993());
+
+  obs::BenchMetrics bm("table1_funding");
+  bm.metric("fy92_total_musd", hpcc::total_fy1992());
+  bm.metric("fy93_total_musd", hpcc::total_fy1993());
+  bm.write_file(args.json_path());
   return 0;
 }

@@ -9,23 +9,45 @@
 // interval, and reports what the machine's 13-GFLOPS headline turns
 // into once failures and checkpoint overhead take their cut.
 //
-//   $ ./linpack_checkpointed [campaign_runs] [per_node_mtbf_days]
+//   $ ./linpack_checkpointed --runs 10 --mtbf-days 15 \
+//       --trace trace.json   # Chrome trace: open in ui.perfetto.dev
+//       --json metrics.json  # machine-readable metrics
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 
 #include "fault/checkpoint.hpp"
 #include "fault/injector.hpp"
 #include "fault/stats.hpp"
 #include "io/cfs.hpp"
+#include "obs/counters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proc/machine.hpp"
+#include "util/cli.hpp"
 
 using namespace hpccsim;
 using sim::Time;
 
 int main(int argc, char** argv) {
-  const int runs = argc > 1 ? std::atoi(argv[1]) : 10;
-  const double mtbf_days = argc > 2 ? std::atof(argv[2]) : 15.0;
+  ArgParser args("linpack_checkpointed",
+                 "a LINPACK campaign under fault injection with "
+                 "checkpoint/restart through the CFS");
+  args.add_option("runs", "LINPACK runs in the campaign", "10");
+  args.add_option("mtbf-days", "per-node MTBF in days", "15");
+  args.add_trace_option();
+  args.add_json_option();
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (args.flag("help")) {
+    std::printf("%s", args.usage().c_str());
+    return 0;
+  }
+  const int runs = static_cast<int>(args.integer("runs"));
+  const double mtbf_days = args.real("mtbf-days");
 
   const proc::MachineConfig mc = proc::touchstone_delta();
   const double lu_seconds = 813.0;  // the modeled order-25,000 LU
@@ -34,6 +56,11 @@ int main(int argc, char** argv) {
   const Bytes per_node = matrix / static_cast<Bytes>(mc.node_count());
 
   nx::NxMachine machine(mc);
+
+  // Opt-in Chrome tracing: checkpoint epochs, crashes, and rollbacks
+  // land on per-rank and machine-control tracks.
+  obs::TraceWriter trace;
+  if (!args.trace_path().empty()) machine.set_trace_writer(&trace);
 
   fault::FaultConfig fc;
   fc.seed = 1992;
@@ -83,5 +110,26 @@ int main(int argc, char** argv) {
   std::printf("no-checkpoint  : expected completion %.2e s (%.1fx the "
               "checkpointed run)\n",
               naive, naive / r.elapsed.as_sec());
+
+  if (!args.trace_path().empty()) {
+    if (trace.write_file(args.trace_path()))
+      std::printf("trace          : %zu events -> %s (load in "
+                  "ui.perfetto.dev)\n",
+                  trace.event_count(), args.trace_path().c_str());
+  }
+
+  obs::BenchMetrics bm("linpack_checkpointed");
+  bm.config("runs", static_cast<std::int64_t>(runs));
+  bm.config("mtbf_days", mtbf_days);
+  bm.add_sim_time(r.elapsed);
+  bm.metric("crashes", static_cast<std::int64_t>(r.crashes));
+  bm.metric("efficiency", r.efficiency());
+  obs::Registry reg;
+  injector.export_counters(reg);
+  cfs.export_counters(reg);
+  run.export_counters(reg);
+  reg.merge(machine.snapshot_counters());
+  bm.attach_counters(reg);
+  bm.write_file(args.json_path());
   return 0;
 }

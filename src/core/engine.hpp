@@ -101,6 +101,7 @@ class Engine {
     HPCCSIM_EXPECTS(h != nullptr);
     queue_.push({when.picoseconds(), next_seq_++,
                  reinterpret_cast<std::uintptr_t>(h.address())});
+    note_queue_depth();
   }
 
   /// Schedule an arbitrary callback (used by the flit-level network, NX
@@ -119,6 +120,8 @@ class Engine {
     }
     queue_.push({when.picoseconds(), next_seq_++,
                  (static_cast<std::uintptr_t>(slot) << 1) | 1});
+    ++calls_scheduled_;
+    note_queue_depth();
   }
 
   /// Start a root process; it first runs when the engine reaches now().
@@ -157,6 +160,15 @@ class Engine {
 
   std::uint64_t events_processed() const { return events_processed_; }
   std::size_t live_process_count() const;
+
+  // Engine-level observability (src/obs pulls these into its registry):
+  // total schedule_call invocations, the deepest the event queue ever
+  // got, and the callback-slot pool's high-water mark. Counting costs
+  // one increment/compare per push — in the measurement noise next to
+  // the queue operation itself.
+  std::uint64_t calls_scheduled() const { return calls_scheduled_; }
+  std::uint64_t peak_queue_depth() const { return peak_queue_depth_; }
+  std::size_t call_slot_high_water() const { return call_slots_.size(); }
 
   /// Safety valve against runaway simulations (0 = unlimited).
   void set_max_events(std::uint64_t n) { max_events_ = n; }
@@ -203,11 +215,17 @@ class Engine {
   static RootCoro run_root(Root* root, Task<void> task);
   void dispatch(const detail::QEvent& ev);
   void check_errors();
+  void note_queue_depth() {
+    if (queue_.size() > peak_queue_depth_)
+      peak_queue_depth_ = queue_.size();
+  }
 
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t max_events_ = 0;
+  std::uint64_t calls_scheduled_ = 0;
+  std::uint64_t peak_queue_depth_ = 0;
   detail::EventQueue queue_;
   // Callback storage: events reference slots by index so queue records
   // stay POD; freed slots are recycled newest-first (cache-warm).

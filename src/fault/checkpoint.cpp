@@ -56,6 +56,37 @@ void CheckpointedRun::mark_into(sim::Time& bucket) {
   mark_ = now;
 }
 
+void CheckpointedRun::trace_span(const std::string& name, sim::Time start) {
+  if (obs::TraceWriter* tw = machine_->trace_writer())
+    tw->complete(machine_->nodes(), name, "ckpt", start,
+                 machine_->engine().now());
+}
+
+void CheckpointedRun::trace_mark(const std::string& name) {
+  if (obs::TraceWriter* tw = machine_->trace_writer())
+    tw->instant(machine_->nodes(), name, "ckpt", machine_->engine().now());
+}
+
+void CheckpointedRun::export_counters(obs::Registry& registry) const {
+  auto set = [&registry](std::string_view name, std::uint64_t v) {
+    registry.counter(name).set(static_cast<std::int64_t>(v));
+  };
+  set("ckpt.checkpoints", report_.checkpoints);
+  set("ckpt.rollbacks", report_.restores);
+  set("ckpt.aborted_epochs", report_.aborted_epochs);
+  set("ckpt.crashes", report_.crashes);
+  set("ckpt.messages_dropped", report_.messages_dropped);
+  set("ckpt.elapsed.ns", static_cast<std::uint64_t>(report_.elapsed.as_ns()));
+  set("ckpt.useful.ns", static_cast<std::uint64_t>(report_.useful.as_ns()));
+  set("ckpt.checkpoint.ns",
+      static_cast<std::uint64_t>(report_.checkpoint.as_ns()));
+  set("ckpt.restore.ns", static_cast<std::uint64_t>(report_.restore.as_ns()));
+  set("ckpt.lost.ns", static_cast<std::uint64_t>(report_.lost.as_ns()));
+  set("ckpt.sync.ns", static_cast<std::uint64_t>(report_.sync.as_ns()));
+  set("ckpt.recovery_wait.ns",
+      static_cast<std::uint64_t>(report_.recovery_wait.as_ns()));
+}
+
 void CheckpointedRun::commit_tentative() {
   report_.useful += tent_compute_;
   report_.sync += tent_sync_;
@@ -135,10 +166,13 @@ sim::Task<> CheckpointedRun::node_program(nx::NxContext& ctx) {
       local_committed = committed_;
       local_epoch = committed_epochs_;
       if (local_epoch > 0) {
+        const sim::Time restore_start = eng.now();
         co_await read_checkpoint(ctx, local_epoch - 1);
         if (lead) {
           mark_into(report_.restore);
           ++report_.restores;
+          trace_span("rollback restore e" + std::to_string(local_epoch - 1),
+                     restore_start);
         }
       }
       local_attempt = target;
@@ -159,8 +193,12 @@ sim::Task<> CheckpointedRun::node_program(nx::NxContext& ctx) {
     const bool last = seg == remaining;
 
     // ---- one epoch: compute, checkpoint, commit ----
+    const sim::Time compute_start = eng.now();
     const bool computed = co_await sim::abortable_delay(eng, seg, abort);
-    if (lead) mark_into(tent_compute_);
+    if (lead) {
+      mark_into(tent_compute_);
+      trace_span("compute e" + std::to_string(local_epoch), compute_start);
+    }
     if (!computed) continue;
 
     if (!last) {
@@ -168,9 +206,14 @@ sim::Task<> CheckpointedRun::node_program(nx::NxContext& ctx) {
           ctx, world_, abort, key(local_attempt, local_epoch, 1));
       if (lead) mark_into(tent_sync_);
       if (!entered) continue;
+      const sim::Time write_start = eng.now();
       const bool written =
           co_await write_checkpoint(ctx, local_epoch, abort);
-      if (lead) mark_into(tent_ckpt_);
+      if (lead) {
+        mark_into(tent_ckpt_);
+        trace_span("checkpoint write e" + std::to_string(local_epoch),
+                   write_start);
+      }
       if (!written) continue;
     }
 
@@ -188,6 +231,8 @@ sim::Task<> CheckpointedRun::node_program(nx::NxContext& ctx) {
       committed_epochs_ = local_epoch;
       wrote_this_epoch_ = !last;
       commit_tentative();
+      trace_mark(last ? "job complete"
+                      : "commit e" + std::to_string(local_epoch - 1));
       if (local_committed == cfg_.total_work) {
         done_ = true;
         report_.elapsed = eng.now() - start_;

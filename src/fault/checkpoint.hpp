@@ -31,6 +31,7 @@
 #include "io/cfs.hpp"
 #include "nx/collectives.hpp"
 #include "nx/machine_runtime.hpp"
+#include "obs/counters.hpp"
 #include "util/units.hpp"
 
 namespace hpccsim::fault {
@@ -76,9 +77,18 @@ class CheckpointedRun {
 
   const WasteReport& report() const { return report_; }
 
+  /// Set the "ckpt.*" counters (committed checkpoints, rollbacks,
+  /// aborted epochs, waste buckets in ns) in `registry` from the
+  /// report. Call after execute().
+  void export_counters(obs::Registry& registry) const;
+
  private:
   // -- lead-rank accounting: partitions rank 0's timeline exactly ----
   void mark_into(sim::Time& bucket);
+  // Chrome-trace span/marker on the machine control track (no-ops when
+  // the machine has no trace writer installed).
+  void trace_span(const std::string& name, sim::Time start);
+  void trace_mark(const std::string& name);
   void commit_tentative();
   void abort_tentative();
 

@@ -113,6 +113,18 @@ FaultInjector::~FaultInjector() {
   if (machine_->fault_hooks() == this) machine_->set_fault_hooks(nullptr);
 }
 
+void FaultInjector::export_counters(obs::Registry& registry) const {
+  registry.counter("fault.crashes").set(static_cast<std::int64_t>(crashes_));
+  registry.counter("fault.repairs").set(static_cast<std::int64_t>(repairs_));
+  registry.counter("fault.link_failures")
+      .set(static_cast<std::int64_t>(link_failures_));
+  registry.counter("fault.drops").set(static_cast<std::int64_t>(drops_));
+  registry.counter("fault.purged_messages")
+      .set(static_cast<std::int64_t>(purged_));
+  registry.counter("fault.trace_events")
+      .set(static_cast<std::int64_t>(trace_.size()));
+}
+
 std::string FaultInjector::trace_csv() const {
   static constexpr const char* kKindNames[] = {"crash", "repair",
                                                "link_fail", "link_repair"};
@@ -157,6 +169,8 @@ void FaultInjector::apply(const FaultEvent& ev) {
       if (disarmed_ || !state.up(ev.a)) return;
       state.set_down(ev.a, now);
       ++crashes_;
+      if (obs::TraceWriter* tw = machine_->trace_writer())
+        tw->instant(ev.a, "crash", "fault", now);
       // The node's memory is gone: undelivered messages with it.
       const std::size_t purged = machine_->context(ev.a).mailbox().drop_queued();
       purged_ += purged;
@@ -170,6 +184,8 @@ void FaultInjector::apply(const FaultEvent& ev) {
       if (state.up(ev.a)) return;
       state.set_up(ev.a, now);
       ++repairs_;
+      if (obs::TraceWriter* tw = machine_->trace_writer())
+        tw->instant(ev.a, "repair", "fault", now);
       if (auto& t = up_triggers_[static_cast<std::size_t>(ev.a)]) {
         t->fire();
         t.reset();
@@ -189,6 +205,11 @@ void FaultInjector::apply(const FaultEvent& ev) {
       if (!net) return;  // crossbar ablation: links don't exist
       net->set_link_failed(ev.a, static_cast<mesh::Dir>(ev.b), fail);
       if (fail) ++link_failures_;
+      if (obs::TraceWriter* tw = machine_->trace_writer())
+        tw->instant(machine_->nodes(),
+                    std::string(fail ? "link fail " : "link repair ") +
+                        std::to_string(ev.a) + " dir" + std::to_string(ev.b),
+                    "fault", now);
       return;
     }
   }

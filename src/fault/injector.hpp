@@ -31,6 +31,7 @@
 #include "mesh/topology.hpp"
 #include "nx/fault_hooks.hpp"
 #include "nx/machine_runtime.hpp"
+#include "obs/counters.hpp"
 #include "util/rng.hpp"
 
 namespace hpccsim::fault {
@@ -128,6 +129,10 @@ class FaultInjector final : public nx::FaultHooks {
   sim::Task<> wait_until_up(std::int32_t rank);
   /// Awaitable: resolves once every node is up.
   sim::Task<> wait_until_all_up();
+
+  /// Set the "fault.*" counters (crashes, repairs, link failures,
+  /// drops, purged messages) in `registry` from current totals.
+  void export_counters(obs::Registry& registry) const;
 
   std::uint64_t crashes() const { return crashes_; }
   std::uint64_t repairs() const { return repairs_; }

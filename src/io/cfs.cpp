@@ -81,6 +81,17 @@ sim::Task<> Cfs::transfer_op(nx::NxContext& ctx, std::int64_t offset,
   co_await eng.delay(last_done - eng.now());
 }
 
+void Cfs::export_counters(obs::Registry& registry) const {
+  registry.counter("cfs.bytes_written")
+      .set(static_cast<std::int64_t>(stats_.bytes_written));
+  registry.counter("cfs.bytes_read")
+      .set(static_cast<std::int64_t>(stats_.bytes_read));
+  registry.counter("cfs.chunks").set(static_cast<std::int64_t>(stats_.chunks));
+  registry.counter("cfs.disk_busy.ns")
+      .set(static_cast<std::int64_t>(stats_.disk_busy.as_ns()));
+  registry.counter("cfs.disks").set(disk_count());
+}
+
 sim::Time Cfs::estimate_write_time(Bytes total) const {
   HPCCSIM_EXPECTS(total > 0);
   const auto ndisks = static_cast<std::int64_t>(cfg_.io_nodes.size());

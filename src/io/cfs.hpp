@@ -24,6 +24,7 @@
 #include "core/task.hpp"
 #include "core/time.hpp"
 #include "nx/machine_runtime.hpp"
+#include "obs/counters.hpp"
 #include "util/units.hpp"
 
 namespace hpccsim::io {
@@ -69,6 +70,10 @@ class Cfs {
   BytesPerSecond aggregate_disk_bw() const {
     return BytesPerSecond{cfg_.disk_bw.bytes_per_sec() * disk_count()};
   }
+
+  /// Set the "cfs.*" counters (bytes written/read, chunks, disk busy
+  /// time, disk count) in `registry` from current totals.
+  void export_counters(obs::Registry& registry) const;
 
   /// Closed-form estimate of the time to write `total` bytes with all
   /// disks idle: per-disk chunk seeks plus streaming. Ignores mesh

@@ -129,6 +129,7 @@ bool FlitNetwork::step() {
     staged.push_back({n, kLocal, f});
     ++staged_count[static_cast<std::size_t>(n)][kLocal];
     ++in_flight_flits_;
+    ++injected_flits_;
     moved = true;
     if (++st.flits_sent == total) {
       st.pending.pop_front();
@@ -194,6 +195,7 @@ bool FlitNetwork::step() {
         // Ejection: always accepted.
         fifo.pop_front();
         --in_flight_flits_;
+        ++ejected_flits_;
         moved = true;
         if (f.tail) {
           auto& msg = messages_[static_cast<std::size_t>(f.msg)];
@@ -217,6 +219,7 @@ bool FlitNetwork::step() {
         staged.push_back({next, nip, f});
         ++staged_count[static_cast<std::size_t>(next)]
                       [static_cast<std::size_t>(nip)];
+        ++link_flits_;
         moved = true;
         if (f.tail) out.owner = -1;
       }

@@ -79,6 +79,13 @@ class FlitNetwork {
   std::uint64_t cycle() const { return cycle_; }
   const std::vector<FlitMessage>& messages() const { return messages_; }
 
+  /// Total link traversals (one flit crossing one inter-router link);
+  /// the "mesh.link.flits" observability counter. Ejections and
+  /// injections are not link traversals and are counted separately.
+  std::uint64_t link_flits() const { return link_flits_; }
+  std::uint64_t injected_flits() const { return injected_flits_; }
+  std::uint64_t ejected_flits() const { return ejected_flits_; }
+
   /// Wall-clock duration of one cycle (flit serialization time).
   sim::Time cycle_time() const;
 
@@ -138,6 +145,9 @@ class FlitNetwork {
   std::uint64_t cycle_ = 0;
   std::int64_t in_flight_flits_ = 0;
   std::int64_t undelivered_ = 0;
+  std::uint64_t link_flits_ = 0;
+  std::uint64_t injected_flits_ = 0;
+  std::uint64_t ejected_flits_ = 0;
 };
 
 }  // namespace hpccsim::mesh

@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "nx/fault_hooks.hpp"
+#include "nx/machine_runtime.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace hpccsim::nx {
@@ -17,6 +20,36 @@ int collective_tag(NxContext& ctx, const Group& g) {
   const int seq = ctx.next_collective_seq(g.tag_space());
   return kCollectiveTagBase + g.tag_space() * kSeqSpan + (seq % kSeqSpan);
 }
+
+// Records one collective invocation into the machine's per-collective
+// latency histogram ("nx.collective.<name>.ns") and, when tracing is
+// on, as a slice on the caller's rank track. A coroutine-frame local:
+// the destructor runs when the collective's body completes, so the
+// recorded interval is exactly [entry, completion] in simulated time.
+// Composed collectives nest — allreduce(Binomial) also records its
+// inner reduce and bcast, barrier its inner allreduce — which is
+// deliberate: the histogram is a call profile, not an app profile.
+class CollectiveTimer {
+ public:
+  CollectiveTimer(NxContext& ctx, const char* name)
+      : ctx_(&ctx), name_(name), start_(ctx.now()) {}
+  CollectiveTimer(const CollectiveTimer&) = delete;
+  CollectiveTimer& operator=(const CollectiveTimer&) = delete;
+  ~CollectiveTimer() {
+    NxMachine& m = ctx_->machine();
+    const sim::Time end = ctx_->now();
+    m.counters()
+        .histogram(std::string("nx.collective.") + name_ + ".ns")
+        .record(static_cast<std::int64_t>((end - start_).as_ns()));
+    if (obs::TraceWriter* tw = m.trace_writer())
+      tw->complete(ctx_->rank(), name_, "collective", start_, end);
+  }
+
+ private:
+  NxContext* ctx_;
+  const char* name_;
+  sim::Time start_;
+};
 }  // namespace
 
 Group::Group(std::vector<int> ranks, int tag_space)
@@ -150,6 +183,7 @@ sim::Task<Message> bcast(NxContext& ctx, const Group& g, int root,
                          Bytes bytes, Payload data, CollectiveAlgo algo) {
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
   HPCCSIM_EXPECTS(g.contains(root));
+  CollectiveTimer timer(ctx, "bcast");
   const int tag = collective_tag(ctx, g);
   if (g.size() == 1) co_return Message{root, tag, bytes, std::move(data)};
   switch (algo) {
@@ -171,6 +205,7 @@ sim::Task<Message> reduce(NxContext& ctx, const Group& g, int root,
                           ReduceOp op, Bytes bytes, Payload contribution) {
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
   HPCCSIM_EXPECTS(g.contains(root));
+  CollectiveTimer timer(ctx, "reduce");
   const int tag = collective_tag(ctx, g);
   const int size = g.size();
   const int root_idx = g.index_of(root);
@@ -199,6 +234,7 @@ sim::Task<Message> allreduce(NxContext& ctx, const Group& g, ReduceOp op,
                              Bytes bytes, Payload contribution,
                              CollectiveAlgo algo) {
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
+  CollectiveTimer timer(ctx, "allreduce");
   const int root = g.rank_at(0);
   const int size = g.size();
   if (size == 1)
@@ -259,6 +295,7 @@ sim::Task<Message> allreduce(NxContext& ctx, const Group& g, ReduceOp op,
 // ------------------------------------------------------------- barrier --
 
 sim::Task<> barrier(NxContext& ctx, const Group& g) {
+  CollectiveTimer timer(ctx, "barrier");
   // Zero-byte allreduce: correctness only needs the synchronization.
   co_await allreduce(ctx, g, ReduceOp::Sum, 0, {});
 }
@@ -267,6 +304,7 @@ sim::Task<bool> abortable_barrier(NxContext& ctx, const Group& g,
                                   sim::Trigger& abort, int epoch_key) {
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
   HPCCSIM_EXPECTS(epoch_key >= 0);
+  CollectiveTimer timer(ctx, "abortable_barrier");
   // Tags live in their own space above the collective tags; the epoch
   // key isolates attempts, the low bits isolate rounds (P <= 2^16).
   const int tag_base =
@@ -294,6 +332,7 @@ sim::Task<std::vector<Message>> gather(NxContext& ctx, const Group& g,
                                        int root, Bytes bytes,
                                        Payload contribution) {
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
+  CollectiveTimer timer(ctx, "gather");
   const int tag = collective_tag(ctx, g);
   std::vector<Message> out;
   if (ctx.rank() == root) {
@@ -312,6 +351,7 @@ sim::Task<std::vector<Message>> gather(NxContext& ctx, const Group& g,
 
 sim::Task<Message> scatter(NxContext& ctx, const Group& g, int root,
                            Bytes bytes_each, std::vector<Payload> slices) {
+  CollectiveTimer timer(ctx, "scatter");
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
   const int tag = collective_tag(ctx, g);
   if (ctx.rank() == root) {
@@ -334,6 +374,7 @@ sim::Task<Message> scatter(NxContext& ctx, const Group& g, int root,
 sim::Task<std::vector<Message>> alltoall(NxContext& ctx, const Group& g,
                                          Bytes bytes_each,
                                          std::vector<Payload> slices) {
+  CollectiveTimer timer(ctx, "alltoall");
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
   HPCCSIM_EXPECTS(slices.empty() ||
                   static_cast<int>(slices.size()) == g.size());
@@ -366,6 +407,7 @@ sim::Task<std::vector<Message>> alltoall(NxContext& ctx, const Group& g,
 sim::Task<std::vector<Message>> allgather(NxContext& ctx, const Group& g,
                                           Bytes bytes_each,
                                           Payload contribution) {
+  CollectiveTimer timer(ctx, "allgather");
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
   const int tag = collective_tag(ctx, g);
   const int size = g.size();
@@ -395,6 +437,7 @@ sim::Task<std::vector<Message>> allgather(NxContext& ctx, const Group& g,
 sim::Task<Message> reduce_scatter(NxContext& ctx, const Group& g,
                                   ReduceOp op, Bytes bytes_total,
                                   Payload contribution) {
+  CollectiveTimer timer(ctx, "reduce_scatter");
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
   const int size = g.size();
   HPCCSIM_EXPECTS(bytes_total % static_cast<Bytes>(size) == 0);
@@ -425,6 +468,7 @@ sim::Task<Message> reduce_scatter(NxContext& ctx, const Group& g,
 
 sim::Task<Message> sendrecv(NxContext& ctx, int partner, int tag,
                             Bytes bytes, Payload payload) {
+  CollectiveTimer timer(ctx, "sendrecv");
   // Buffered sends make send-then-recv deadlock-free on both sides.
   co_await ctx.send(partner, tag, bytes, std::move(payload));
   co_return co_await ctx.recv(partner, tag);

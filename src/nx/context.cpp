@@ -35,6 +35,13 @@ void NxContext::launch_message(int dst, int tag, Bytes bytes,
   ++stats_.sends;
   stats_.bytes_sent += bytes;
 
+  if (obs::TraceWriter* tw = machine_->trace_writer()) {
+    // One slice on the sender's track spanning the network flight.
+    tw->complete(rank_,
+                 "msg->" + std::to_string(dst) + " t" + std::to_string(tag),
+                 "msg", depart, arrival);
+  }
+
   // Transient in-flight loss (fault injection): the network timing above
   // still happened — the bytes crossed links before being corrupted —
   // but the destination never sees the message.

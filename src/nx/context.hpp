@@ -48,6 +48,8 @@ class NxContext {
   int nodes() const;
   sim::Time now() const;
   sim::Engine& engine();
+  /// The owning machine (collectives use it for counters and tracing).
+  NxMachine& machine() { return *machine_; }
 
   /// Blocking send (NX csend): returns once the message is handed to the
   /// network; the payload is buffered, so the receiver may consume it

@@ -55,6 +55,52 @@ std::string NxMachine::message_trace_csv() const {
   return os.str();
 }
 
+void NxMachine::set_trace_writer(obs::TraceWriter* trace) {
+  trace_writer_ = trace;
+  if (!trace_writer_) return;
+  for (int r = 0; r < nodes(); ++r)
+    trace_writer_->set_track_name(r, "rank " + std::to_string(r));
+  trace_writer_->set_track_name(nodes(), "machine");
+}
+
+obs::Registry& NxMachine::snapshot_counters() {
+  auto set = [this](std::string_view name, std::uint64_t v) {
+    registry_.counter(name).set(static_cast<std::int64_t>(v));
+  };
+
+  set("core.engine.events", engine_.events_processed());
+  set("core.engine.calls_scheduled", engine_.calls_scheduled());
+  set("core.engine.peak_queue_depth", engine_.peak_queue_depth());
+  set("core.engine.call_slot_high_water", engine_.call_slot_high_water());
+
+  const NodeStats total = total_stats();
+  set("nx.sends", total.sends);
+  set("nx.recvs", total.recvs);
+  set("nx.bytes_sent", total.bytes_sent);
+  set("nx.flops_charged", total.flops_charged);
+  set("nx.compute.ns", static_cast<std::uint64_t>(total.compute_time.as_ns()));
+  set("nx.send_wait.ns", static_cast<std::uint64_t>(total.send_wait.as_ns()));
+  set("nx.recv_wait.ns", static_cast<std::uint64_t>(total.recv_wait.as_ns()));
+  set("nx.messages_dropped", messages_dropped_);
+  set("proc.nodes", static_cast<std::uint64_t>(config_.node_count()));
+  set("proc.nodes_down", static_cast<std::uint64_t>(
+                             node_state_.node_count() - node_state_.up_count()));
+
+  if (const auto* m = dynamic_cast<const mesh::AnalyticalMeshNet*>(
+          net_.get())) {
+    set("mesh.messages", m->messages_routed());
+    set("mesh.reroutes", m->reroutes());
+    set("mesh.stalls", m->stalls());
+    set("mesh.links_failed", static_cast<std::uint64_t>(
+                                 m->failed_link_count()));
+    registry_.set_gauge("mesh.contention.us.mean",
+                        m->contention_delay_us().mean());
+    registry_.set_gauge("mesh.contention.us.max",
+                        m->contention_delay_us().max());
+  }
+  return registry_;
+}
+
 NodeStats NxMachine::total_stats() const {
   NodeStats total;
   for (const auto& c : contexts_) {

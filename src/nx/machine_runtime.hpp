@@ -13,6 +13,8 @@
 #include "mesh/netmodel.hpp"
 #include "nx/context.hpp"
 #include "nx/fault_hooks.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "proc/machine.hpp"
 #include "proc/node_state.hpp"
 
@@ -73,6 +75,23 @@ class NxMachine {
     if (trace_enabled_) trace_.push_back(rec);
   }
 
+  /// The machine's observability registry. Collective latency
+  /// histograms are recorded live (src/nx/collectives.cpp); everything
+  /// natively counted elsewhere (engine, network, node stats) is folded
+  /// in by snapshot_counters(). Deterministic: same scenario, same dump.
+  obs::Registry& counters() { return registry_; }
+  const obs::Registry& counters() const { return registry_; }
+
+  /// Pull engine/network/node/CFS-independent totals into counters()
+  /// under their catalog names (docs/METRICS.md) and return it. Safe to
+  /// call repeatedly — snapshotted values are set, not re-added.
+  obs::Registry& snapshot_counters();
+
+  /// Opt-in Chrome-trace recording (null = off, the default; hook sites
+  /// pay one pointer test). The writer must outlive the run.
+  void set_trace_writer(obs::TraceWriter* trace);
+  obs::TraceWriter* trace_writer() const { return trace_writer_; }
+
   /// Runtime node health (all up by default; src/fault flips entries).
   proc::NodeStateTable& node_state() { return node_state_; }
   const proc::NodeStateTable& node_state() const { return node_state_; }
@@ -92,6 +111,8 @@ class NxMachine {
   std::unique_ptr<mesh::NetworkModel> net_;
   std::vector<std::unique_ptr<NxContext>> contexts_;
   proc::NodeStateTable node_state_;
+  obs::Registry registry_;
+  obs::TraceWriter* trace_writer_ = nullptr;
   FaultHooks* fault_hooks_ = nullptr;
   std::uint64_t messages_dropped_ = 0;
   bool trace_enabled_ = false;

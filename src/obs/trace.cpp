@@ -1,0 +1,57 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/counters.hpp"
+
+namespace hpccsim::obs {
+
+void TraceWriter::complete(std::int32_t tid, std::string_view name,
+                           std::string_view category, sim::Time start,
+                           sim::Time end) {
+  events_.push_back(Event{start.as_us(), (end - start).as_us(), tid, 'X',
+                          std::string(name), std::string(category)});
+}
+
+void TraceWriter::instant(std::int32_t tid, std::string_view name,
+                          std::string_view category, sim::Time ts) {
+  events_.push_back(Event{ts.as_us(), 0.0, tid, 'i', std::string(name),
+                          std::string(category)});
+}
+
+void TraceWriter::set_track_name(std::int32_t tid, std::string name) {
+  track_names_[tid] = std::move(name);
+}
+
+void TraceWriter::write(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : track_names_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << detail::json_escape(name) << "\"}}";
+  }
+  for (const Event& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << detail::json_escape(e.name) << "\",\"cat\":\""
+       << detail::json_escape(e.cat) << "\",\"ph\":\"" << e.ph
+       << "\",\"pid\":0,\"tid\":" << e.tid
+       << ",\"ts\":" << detail::json_double(e.ts_us);
+    if (e.ph == 'X') os << ",\"dur\":" << detail::json_double(e.dur_us);
+    if (e.ph == 'i') os << ",\"s\":\"t\"";
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool TraceWriter::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace hpccsim::obs

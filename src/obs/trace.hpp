@@ -1,0 +1,63 @@
+// Chrome trace_event export for simulated runs.
+//
+// Collects duration ("X") and instant ("i") events on integer tracks
+// (one track per simulated rank, plus extra tracks for control planes
+// like the checkpoint protocol) and writes the JSON Array Format that
+// chrome://tracing and Perfetto (ui.perfetto.dev) open directly:
+//
+//   {"traceEvents":[
+//     {"name":"barrier","cat":"collective","ph":"X","pid":0,"tid":3,
+//      "ts":1250.0,"dur":87.5}, ...]}
+//
+// Timestamps are simulated microseconds (Time::as_us()); pid is always
+// 0 — the whole machine is one "process", ranks are its threads.
+//
+// Tracing is strictly opt-in: nothing in the simulator constructs a
+// TraceWriter unless the user passed --trace, and every hook site is a
+// single null-pointer check when disabled (docs/METRICS.md).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace hpccsim::obs {
+
+class TraceWriter {
+ public:
+  /// A complete event: [start, end) on track `tid`.
+  void complete(std::int32_t tid, std::string_view name,
+                std::string_view category, sim::Time start, sim::Time end);
+
+  /// A zero-duration instant event (rendered as a marker).
+  void instant(std::int32_t tid, std::string_view name,
+               std::string_view category, sim::Time ts);
+
+  /// Track label shown by the viewer ("rank 0", "ckpt protocol").
+  void set_track_name(std::int32_t tid, std::string name);
+
+  std::size_t event_count() const { return events_.size(); }
+
+  void write(std::ostream& os) const;
+  /// Returns false (and leaves a partial file) only on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    std::int32_t tid = 0;
+    char ph = 'X';
+    std::string name;
+    std::string cat;
+  };
+  std::vector<Event> events_;
+  std::map<std::int32_t, std::string> track_names_;
+};
+
+}  // namespace hpccsim::obs

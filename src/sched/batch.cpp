@@ -168,6 +168,18 @@ BatchResult BatchSimulator::run() {
   return res;
 }
 
+void export_counters(const BatchResult& result, obs::Registry& registry) {
+  registry.counter("sched.backfilled").set(result.backfilled);
+  registry.counter("sched.requeued").set(result.requeued);
+  registry.counter("sched.jobs")
+      .set(static_cast<std::int64_t>(result.wait_minutes.count()));
+  registry.counter("sched.makespan.ns")
+      .set(static_cast<std::int64_t>(result.makespan.as_ns()));
+  registry.set_gauge("sched.utilization", result.utilization);
+  registry.set_gauge("sched.wait_minutes.mean", result.wait_minutes.mean());
+  registry.set_gauge("sched.lost_node_seconds", result.lost_node_seconds);
+}
+
 std::vector<Job> consortium_workload(std::int32_t total_jobs,
                                      std::int32_t machine_nodes,
                                      std::uint64_t seed) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "obs/counters.hpp"
 #include "sched/partition.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -102,6 +103,10 @@ class BatchSimulator {
   std::int64_t requeued_ = 0;
   RunningStat frag_;
 };
+
+/// Set the "sched.*" counters (jobs backfilled/requeued, utilization,
+/// makespan, lost node-seconds) in `registry` from a finished run.
+void export_counters(const BatchResult& result, obs::Registry& registry);
 
 /// A representative consortium day: a mix of full-machine hero runs,
 /// mid-size production sweeps, and small debug jobs.

@@ -33,6 +33,18 @@ void ArgParser::add_jobs_option() {
 
 int ArgParser::jobs() const { return resolve_jobs(integer("jobs")); }
 
+void ArgParser::add_json_option() {
+  add_option("json", "write bench metrics JSON to this path (see "
+                     "docs/METRICS.md for the schema)",
+             "");
+}
+
+void ArgParser::add_trace_option() {
+  add_option("trace", "write a Chrome trace-event JSON file to this path "
+                      "(open in chrome://tracing or ui.perfetto.dev)",
+             "");
+}
+
 void ArgParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];

@@ -26,6 +26,17 @@ class ArgParser {
   /// var, else all hardware threads). Read it back with jobs().
   void add_jobs_option();
 
+  /// Declare the standard `--json <path>` option every bench carries:
+  /// write machine-readable metrics (obs::BenchMetrics schema, see
+  /// docs/METRICS.md) to <path>. Read it back with json_path().
+  void add_json_option();
+  std::string json_path() const { return str("json"); }
+
+  /// Declare the standard `--trace <path>` option: write a Chrome
+  /// trace-event file of the run (obs::TraceWriter) to <path>.
+  void add_trace_option();
+  std::string trace_path() const { return str("trace"); }
+
   /// Resolved worker count for parallel_for: --jobs if given, else the
   /// HPCCSIM_JOBS environment variable, else hardware concurrency.
   int jobs() const;

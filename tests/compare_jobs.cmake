@@ -1,0 +1,56 @@
+# Determinism harness: run one sweep bench at --jobs 1 and --jobs 4 and
+# require byte-identical stdout (and, when the bench emits counters via
+# --json, byte-identical metrics modulo the host-dependent wall_time_s
+# field). Invoked by the `determinism`-labelled ctest entries:
+#
+#   cmake -DBENCH=<binary> -DARGS=<;-list> -DOUT=<scratch dir>
+#         [-DCHECK_JSON=1] -P compare_jobs.cmake
+
+if(NOT DEFINED BENCH OR NOT DEFINED OUT)
+  message(FATAL_ERROR "usage: cmake -DBENCH=... -DARGS=... -DOUT=... -P compare_jobs.cmake")
+endif()
+if(NOT DEFINED ARGS)
+  set(ARGS "")
+endif()
+
+get_filename_component(name "${BENCH}" NAME)
+file(MAKE_DIRECTORY "${OUT}")
+
+foreach(jobs 1 4)
+  set(cmd "${BENCH}" ${ARGS} --jobs ${jobs})
+  if(CHECK_JSON)
+    list(APPEND cmd --json "${OUT}/${name}.j${jobs}.json")
+  endif()
+  execute_process(
+    COMMAND ${cmd}
+    OUTPUT_FILE "${OUT}/${name}.j${jobs}.txt"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${name} --jobs ${jobs} exited with ${rc}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${OUT}/${name}.j1.txt" "${OUT}/${name}.j4.txt"
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "${name}: stdout differs between --jobs 1 and --jobs 4 "
+    "(${OUT}/${name}.j1.txt vs .j4.txt)")
+endif()
+
+if(CHECK_JSON)
+  foreach(jobs 1 4)
+    file(READ "${OUT}/${name}.j${jobs}.json" content)
+    # wall_time_s is host time and legitimately differs between runs.
+    string(REGEX REPLACE "\"wall_time_s\":[0-9.eE+-]+" "\"wall_time_s\":0"
+           content "${content}")
+    set(json_j${jobs} "${content}")
+  endforeach()
+  if(NOT json_j1 STREQUAL json_j4)
+    message(FATAL_ERROR
+      "${name}: --json output (incl. counter totals) differs between "
+      "--jobs 1 and --jobs 4")
+  endif()
+endif()

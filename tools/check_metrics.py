@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Gate bench metrics against the committed baselines.
+
+Reads every ``*.json`` bench-metrics file (the shared --json schema, see
+docs/METRICS.md) from a directory and compares it with
+``bench/baselines.json``:
+
+* ``sim_time_s`` is simulation-deterministic, so drift beyond the
+  tolerance (default 10%) in either direction FAILS the gate — the model
+  changed and the change must be owned (re-baseline with ``--update``).
+* ``wall_time_s`` is host-dependent: drift only prints a warning.
+* Benches present in the metrics directory but missing from the
+  baselines (or vice versa) fail, so the baseline file cannot silently
+  rot as benches are added or removed.
+
+Usage:
+    check_metrics.py <metrics-dir> [--baselines bench/baselines.json]
+                     [--sim-tolerance 0.10] [--wall-warn 0.50] [--update]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_metrics(metrics_dir: pathlib.Path) -> dict:
+    current = {}
+    for path in sorted(metrics_dir.glob("*.json")):
+        with open(path) as fh:
+            doc = json.load(fh)
+        if doc.get("schema_version") != 1:
+            sys.exit(f"FAIL {path}: unknown schema_version "
+                     f"{doc.get('schema_version')!r}")
+        current[doc["bench"]] = {
+            "sim_time_s": doc.get("sim_time_s", 0.0),
+            "wall_time_s": doc.get("wall_time_s", 0.0),
+        }
+    if not current:
+        sys.exit(f"FAIL: no *.json metrics found in {metrics_dir}")
+    return current
+
+
+def rel_drift(new: float, old: float) -> float:
+    if old == 0.0:
+        return 0.0 if new == 0.0 else float("inf")
+    return abs(new - old) / old
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("metrics_dir", type=pathlib.Path)
+    ap.add_argument("--baselines", type=pathlib.Path,
+                    default=pathlib.Path("bench/baselines.json"))
+    ap.add_argument("--sim-tolerance", type=float, default=0.10,
+                    help="max relative sim_time_s drift (hard failure)")
+    ap.add_argument("--wall-warn", type=float, default=0.50,
+                    help="relative wall_time_s drift that prints a warning")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baselines file from the current run")
+    args = ap.parse_args()
+
+    current = load_metrics(args.metrics_dir)
+
+    if args.update:
+        with open(args.baselines, "w") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {len(current)} baselines to {args.baselines}")
+        return 0
+
+    with open(args.baselines) as fh:
+        baselines = json.load(fh)
+
+    failures = []
+    for bench in sorted(set(baselines) | set(current)):
+        if bench not in current:
+            failures.append(f"{bench}: in baselines but produced no metrics")
+            continue
+        if bench not in baselines:
+            failures.append(f"{bench}: new bench, not in baselines "
+                            f"(run with --update to adopt)")
+            continue
+        new, old = current[bench], baselines[bench]
+
+        sim_drift = rel_drift(new["sim_time_s"], old["sim_time_s"])
+        if sim_drift > args.sim_tolerance:
+            failures.append(
+                f"{bench}: sim_time_s {old['sim_time_s']:.6g} -> "
+                f"{new['sim_time_s']:.6g} ({sim_drift:+.1%} drift, "
+                f"tolerance {args.sim_tolerance:.0%})")
+        else:
+            status = "ok" if sim_drift == 0.0 else f"drift {sim_drift:.2%}"
+            print(f"ok   {bench}: sim_time_s {new['sim_time_s']:.6g} "
+                  f"({status})")
+
+        wall_drift = rel_drift(new["wall_time_s"], old["wall_time_s"])
+        if wall_drift > args.wall_warn:
+            print(f"WARN {bench}: wall_time_s {old['wall_time_s']:.3g}s -> "
+                  f"{new['wall_time_s']:.3g}s ({wall_drift:+.0%}); "
+                  f"host-dependent, not gated")
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL {f}")
+        print(f"\n{len(failures)} metric gate failure(s). If the simulation "
+              f"model changed intentionally, regenerate the baselines:\n"
+              f"  tools/run_bench_metrics.sh <build-dir> <out-dir>\n"
+              f"  tools/check_metrics.py <out-dir> --baselines "
+              f"{args.baselines} --update")
+        return 1
+    print(f"\nall {len(current)} benches within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

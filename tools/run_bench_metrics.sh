@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Run every bench in its fast "CI exhibit" configuration, writing one
+# --json metrics file per bench into OUT_DIR. This script is the single
+# source of truth for the CI bench-metrics configurations: the committed
+# bench/baselines.json was produced from exactly these invocations
+# (regenerate with: tools/run_bench_metrics.sh <build> <out> &&
+# tools/check_metrics.py <out> --baselines bench/baselines.json --update).
+set -eu
+
+BUILD_DIR=${1:?usage: run_bench_metrics.sh <build-dir> <out-dir>}
+OUT_DIR=${2:?usage: run_bench_metrics.sh <build-dir> <out-dir>}
+mkdir -p "$OUT_DIR"
+
+run() {
+  local bin=$1
+  shift
+  echo "== $bin $*"
+  "$BUILD_DIR/bench/$bin" "$@" --json "$OUT_DIR/$bin.json" > /dev/null
+}
+
+run fig1_linpack --n 1000,2500
+run fig2_scaling --n 1000
+run fig3_consortium
+run fig4_mesh_traffic --messages 50
+run table1_funding
+run ablate_contention --messages 30
+run ablate_collectives --nodes 64
+run ablate_network --n 2000
+run ablate_routing --width 6 --height 6
+run asta_cg_scaling --iters 20
+run asta_factorizations --n 1000,2000
+run cas_fft
+run testbed_ops --jobs 80 --seeds 3
+run nren_rush_hour
+run io_checkpoint --n 10000
+run fault_waste --nodes 16 --work-hours 8
+
+# The checkpointed-campaign example carries the same --json schema.
+echo "== linpack_checkpointed --runs 2 --mtbf-days 2"
+"$BUILD_DIR/examples/linpack_checkpointed" --runs 2 --mtbf-days 2 \
+  --json "$OUT_DIR/linpack_checkpointed.json" > /dev/null
+
+# Host-speed micro-benchmarks: wall-time only (no simulated clock), so
+# the checker reports them informationally and never gates on them.
+echo "== micro_kernels (subset)"
+"$BUILD_DIR/bench/micro_kernels" \
+  "--benchmark_filter=BM_(engine_events|xy_route|analytical_transfer)" \
+  --json "$OUT_DIR/micro_kernels.json" > /dev/null
+
+echo "metrics written to $OUT_DIR"
