@@ -188,18 +188,39 @@ void BM_analytical_transfer(benchmark::State& state) {
 }
 BENCHMARK(BM_analytical_transfer);
 
-void BM_flit_step(benchmark::State& state) {
+// Shared loop body for the two flit-step benchmarks: keeps the mesh
+// loaded by re-injecting the same 128-message uniform batch whenever
+// the previous batch drains, so every timed step is a busy step (an
+// idle-network step measures nothing but the scheduler's no-op path).
+template <typename StepFn>
+void flit_step_loop(benchmark::State& state, StepFn step) {
   mesh::FlitNetwork net(mesh::Mesh2D(8, 8), mesh::FlitParams{});
   Rng rng(6);
-  for (int i = 0; i < 128; ++i) {
-    const auto s = static_cast<mesh::NodeId>(rng.below(64));
-    auto d = static_cast<mesh::NodeId>(rng.below(64));
-    if (d == s) d = (d + 1) % 64;
-    net.inject(s, d, 256, 0);
+  const auto refill = [&net, &rng] {
+    for (int i = 0; i < 128; ++i) {
+      const auto s = static_cast<mesh::NodeId>(rng.below(64));
+      auto d = static_cast<mesh::NodeId>(rng.below(64));
+      if (d == s) d = (d + 1) % 64;
+      net.inject(s, d, 256, net.cycle());
+    }
+  };
+  refill();
+  for (auto _ : state) {
+    if (net.undelivered() == 0) refill();
+    benchmark::DoNotOptimize(step(net));
   }
-  for (auto _ : state) benchmark::DoNotOptimize(net.step());
+}
+
+void BM_flit_step(benchmark::State& state) {
+  flit_step_loop(state, [](mesh::FlitNetwork& n) { return n.step(); });
 }
 BENCHMARK(BM_flit_step);
+
+void BM_flit_step_reference(benchmark::State& state) {
+  flit_step_loop(state,
+                 [](mesh::FlitNetwork& n) { return n.step_reference(); });
+}
+BENCHMARK(BM_flit_step_reference);
 
 /// Console reporter that also accumulates per-benchmark real times so
 /// the custom main below can emit the shared --json metrics schema.

@@ -1,29 +1,62 @@
 #include "mesh/flit.hpp"
 
-#include <array>
+#include <bit>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace hpccsim::mesh {
 
+namespace {
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+// A flit leaving east arrives on the neighbour's west input, etc.; the
+// Dir encoding pairs opposites as (E=0,W=1) and (N=2,S=3), so the
+// downstream input port is the output direction with its low bit
+// flipped.
+int opposite(int dir) { return dir ^ 1; }
+}  // namespace
+
 FlitNetwork::FlitNetwork(Mesh2D mesh, FlitParams params)
-    : mesh_(mesh),
-      params_(params),
-      routers_(static_cast<std::size_t>(mesh.node_count())),
-      inject_(static_cast<std::size_t>(mesh.node_count())) {
+    : mesh_(mesh), params_(params) {
   HPCCSIM_EXPECTS(params.flit_bytes > 0);
   HPCCSIM_EXPECTS(params.input_buffer_flits >= 2);
+  HPCCSIM_EXPECTS(params.input_buffer_flits <= 4096);
+  n_ = mesh_.node_count();
+  cap_ = params.input_buffer_flits;
+  const auto nports = static_cast<std::size_t>(n_) * kPorts;
+  buf_.resize(nports * static_cast<std::size_t>(cap_));
+  q_head_.assign(nports, 0);
+  q_size_.assign(nports, 0);
+  owner_.assign(nports, -1);
+  staged_count_.assign(nports, 0);
+  router_flits_.assign(static_cast<std::size_t>(n_), 0);
+  active_.assign(static_cast<std::size_t>((n_ + 63) / 64), 0);
+  inject_mask_.assign(active_.size(), 0);
+  inject_.resize(static_cast<std::size_t>(n_));
+  nbr_.resize(static_cast<std::size_t>(n_) * 4);
+  cx_.resize(static_cast<std::size_t>(n_));
+  cy_.resize(static_cast<std::size_t>(n_));
+  for (NodeId n = 0; n < n_; ++n) {
+    for (const Dir d : kAllDirs)
+      nbr_[static_cast<std::size_t>(n) * 4 + static_cast<std::size_t>(d)] =
+          mesh_.neighbour(n, d);
+    const Coord c = mesh_.coord_of(n);
+    cx_[static_cast<std::size_t>(n)] = static_cast<std::int16_t>(c.x);
+    cy_[static_cast<std::size_t>(n)] = static_cast<std::int16_t>(c.y);
+  }
 }
 
 std::size_t FlitNetwork::inject(NodeId src, NodeId dst, Bytes bytes,
                                 std::uint64_t inject_cycle) {
-  HPCCSIM_EXPECTS(src >= 0 && src < mesh_.node_count());
-  HPCCSIM_EXPECTS(dst >= 0 && dst < mesh_.node_count());
+  HPCCSIM_EXPECTS(src >= 0 && src < n_);
+  HPCCSIM_EXPECTS(dst >= 0 && dst < n_);
   HPCCSIM_EXPECTS(src != dst);
   HPCCSIM_EXPECTS(bytes > 0);
   messages_.push_back(FlitMessage{src, dst, bytes, inject_cycle, 0, false});
   inject_[static_cast<std::size_t>(src)].pending.push_back(
       static_cast<std::int32_t>(messages_.size() - 1));
+  set_bit(inject_mask_, src);
   ++undelivered_;
   return messages_.size() - 1;
 }
@@ -49,199 +82,356 @@ void FlitNetwork::route_candidates(NodeId node, NodeId dst, int out[3],
     out[count++] = kLocal;
     return;
   }
-  const Coord c = mesh_.coord_of(node), to = mesh_.coord_of(dst);
+  const std::int32_t cx = cx_[static_cast<std::size_t>(node)];
+  const std::int32_t cy = cy_[static_cast<std::size_t>(node)];
+  const std::int32_t tx = cx_[static_cast<std::size_t>(dst)];
+  const std::int32_t ty = cy_[static_cast<std::size_t>(dst)];
   if (params_.routing == RouteAlgo::XY) {
-    if (c.x != to.x)
-      out[count++] = static_cast<int>(c.x < to.x ? Dir::East : Dir::West);
+    if (cx != tx)
+      out[count++] = static_cast<int>(cx < tx ? Dir::East : Dir::West);
     else
-      out[count++] = static_cast<int>(c.y < to.y ? Dir::South : Dir::North);
+      out[count++] = static_cast<int>(cy < ty ? Dir::South : Dir::North);
     return;
   }
   // West-first: every west hop precedes any other turn (deadlock-free
   // per the turn model); once dx >= 0, adapt among the productive
   // directions.
-  if (c.x > to.x) {
+  if (cx > tx) {
     out[count++] = static_cast<int>(Dir::West);
     return;
   }
-  if (c.x < to.x) out[count++] = static_cast<int>(Dir::East);
-  if (c.y < to.y) out[count++] = static_cast<int>(Dir::South);
-  else if (c.y > to.y) out[count++] = static_cast<int>(Dir::North);
+  if (cx < tx) out[count++] = static_cast<int>(Dir::East);
+  if (cy < ty) out[count++] = static_cast<int>(Dir::South);
+  else if (cy > ty) out[count++] = static_cast<int>(Dir::North);
   HPCCSIM_ASSERT(count >= 1);
 }
 
-NodeId FlitNetwork::downstream_node(NodeId node, int out_port) const {
-  HPCCSIM_ASSERT(out_port != kLocal);
-  return mesh_.neighbour(node, static_cast<Dir>(out_port));
+void FlitNetwork::fifo_pop(std::int32_t p, NodeId node) {
+  auto& head = q_head_[static_cast<std::size_t>(p)];
+  head = static_cast<std::uint16_t>(head + 1 == cap_ ? 0 : head + 1);
+  --q_size_[static_cast<std::size_t>(p)];
+  if (--router_flits_[static_cast<std::size_t>(node)] == 0)
+    clear_bit(active_, node);
 }
 
-int FlitNetwork::downstream_in_port(int out_port) const {
-  // A flit leaving east arrives on the neighbour's west input, etc.
-  switch (static_cast<Dir>(out_port)) {
-    case Dir::East: return static_cast<int>(Dir::West);
-    case Dir::West: return static_cast<int>(Dir::East);
-    case Dir::North: return static_cast<int>(Dir::South);
-    case Dir::South: return static_cast<int>(Dir::North);
-  }
-  HPCCSIM_ASSERT(false);
-  return -1;
+void FlitNetwork::stage(NodeId node, int port, const Flit& f) {
+  staged_.push_back(Staged{node, port, f});
+  ++staged_count_[static_cast<std::size_t>(pidx(node, port))];
 }
 
-bool FlitNetwork::step() {
-  bool moved = false;
-
-  // Staged flit arrivals, applied at end of cycle so a flit advances at
-  // most one hop per cycle. staged_count[node][port] reserves space.
-  struct Staged {
-    NodeId node;
-    int port;
-    Flit flit;
-  };
-  std::vector<Staged> staged;
-  std::vector<std::array<std::int32_t, kPorts>> staged_count(
-      routers_.size(), std::array<std::int32_t, kPorts>{});
-
-  auto space_in = [&](NodeId node, int in_port) {
-    const auto& fifo =
-        routers_[static_cast<std::size_t>(node)].in[static_cast<std::size_t>(
-            in_port)].fifo;
-    return static_cast<std::int32_t>(fifo.size()) +
-               staged_count[static_cast<std::size_t>(node)]
-                           [static_cast<std::size_t>(in_port)] <
-           params_.input_buffer_flits;
-  };
-
-  // Phase 1: injection — one flit per node per cycle into the local
-  // input port, in node-id order.
-  for (NodeId n = 0; n < mesh_.node_count(); ++n) {
-    auto& st = inject_[static_cast<std::size_t>(n)];
-    if (st.pending.empty()) continue;
-    const std::int32_t m = st.pending.front();
-    if (messages_[static_cast<std::size_t>(m)].inject_cycle > cycle_)
-      continue;
-    if (!space_in(n, kLocal)) continue;
-    const std::int64_t total = flits_of(m);
-    Flit f;
-    f.msg = m;
-    f.head = st.flits_sent == 0;
-    f.tail = st.flits_sent == total - 1;
-    f.dst = messages_[static_cast<std::size_t>(m)].dst;
-    staged.push_back({n, kLocal, f});
-    ++staged_count[static_cast<std::size_t>(n)][kLocal];
-    ++in_flight_flits_;
-    ++injected_flits_;
-    moved = true;
-    if (++st.flits_sent == total) {
-      st.pending.pop_front();
-      st.flits_sent = 0;
-    }
-  }
-
-  // Phase 2: switch allocation + traversal, router by router in id
-  // order.
-  for (NodeId n = 0; n < mesh_.node_count(); ++n) {
-    Router& r = routers_[static_cast<std::size_t>(n)];
-
-    // Allocation: each ungranted head flit claims its best free
-    // candidate output — for adaptive routing, the one with the most
-    // downstream buffer space (ties: route-preference order).
-    for (int ip = 0; ip < kPorts; ++ip) {
-      const auto& fifo = r.in[static_cast<std::size_t>(ip)].fifo;
-      if (fifo.empty() || !fifo.front().head) continue;
-      bool granted = false;
-      for (int op2 = 0; op2 < kPorts; ++op2)
-        granted = granted || r.out[static_cast<std::size_t>(op2)].owner == ip;
-      if (granted) continue;
-      int cands[3];
-      int nc = 0;
-      route_candidates(n, fifo.front().dst, cands, nc);
-      int best = -1;
-      std::int32_t best_space = -1;
-      for (int k = 0; k < nc; ++k) {
-        const int op2 = cands[k];
-        if (r.out[static_cast<std::size_t>(op2)].owner >= 0) continue;
-        std::int32_t space;
-        if (op2 == kLocal) {
-          space = std::numeric_limits<std::int32_t>::max();
-        } else {
-          const NodeId next = downstream_node(n, op2);
-          const int nip = downstream_in_port(op2);
-          const auto& dfifo = routers_[static_cast<std::size_t>(next)]
-                                  .in[static_cast<std::size_t>(nip)].fifo;
-          space = params_.input_buffer_flits -
-                  static_cast<std::int32_t>(dfifo.size()) -
-                  staged_count[static_cast<std::size_t>(next)]
-                              [static_cast<std::size_t>(nip)];
-        }
-        if (space > best_space) {
-          best_space = space;
-          best = op2;
-        }
+// Phase 1: injection — one flit per node per cycle into the local input
+// port, in node-id order over the sources with pending messages.
+void FlitNetwork::phase1_inject(bool& moved) {
+  for (std::size_t wi = 0; wi < inject_mask_.size(); ++wi) {
+    std::uint64_t w = inject_mask_[wi];
+    while (w) {
+      const NodeId n =
+          static_cast<NodeId>((wi << 6) + std::countr_zero(w));
+      w &= w - 1;
+      auto& st = inject_[static_cast<std::size_t>(n)];
+      const std::int32_t m = st.pending.front();
+      if (messages_[static_cast<std::size_t>(m)].inject_cycle > cycle_)
+        continue;
+      if (!has_space(pidx(n, kLocal))) continue;
+      const std::int64_t total = flits_of(m);
+      Flit f;
+      f.msg = m;
+      f.dst = messages_[static_cast<std::size_t>(m)].dst;
+      f.head = st.flits_sent == 0;
+      f.tail = st.flits_sent == total - 1;
+      stage(n, kLocal, f);
+      ++in_flight_flits_;
+      ++injected_flits_;
+      moved = true;
+      if (++st.flits_sent == total) {
+        st.pending.pop_front();
+        st.flits_sent = 0;
+        if (st.pending.empty()) clear_bit(inject_mask_, n);
       }
-      if (best >= 0) r.out[static_cast<std::size_t>(best)].owner = ip;
     }
+  }
+}
 
-    // Traversal: one flit per owned output port.
-    for (int op = 0; op < kPorts; ++op) {
-      OutputPort& out = r.out[static_cast<std::size_t>(op)];
-      if (out.owner < 0) continue;
+// Phase 2 for one router: switch allocation, then traversal.
+void FlitNetwork::phase2_router(NodeId n, bool& moved) {
+  const std::int32_t base = pidx(n, 0);
 
-      // Traversal: move one flit of the owning message.
-      auto& fifo = r.in[static_cast<std::size_t>(out.owner)].fifo;
-      if (fifo.empty()) continue;
-      const Flit f = fifo.front();
-
+  // Allocation: each ungranted head flit claims its best free candidate
+  // output — for adaptive routing, the one with the most downstream
+  // buffer space (ties: route-preference order).
+  for (int ip = 0; ip < kPorts; ++ip) {
+    const std::int32_t p = base + ip;
+    if (q_size_[static_cast<std::size_t>(p)] == 0) continue;
+    const Flit& front = fifo_front(p);
+    if (!front.head) continue;
+    bool granted = false;
+    for (int op = 0; op < kPorts; ++op)
+      granted = granted || owner_[static_cast<std::size_t>(base + op)] == ip;
+    if (granted) continue;
+    int cands[3];
+    int nc = 0;
+    route_candidates(n, front.dst, cands, nc);
+    int best = -1;
+    std::int32_t best_space = -1;
+    for (int k = 0; k < nc; ++k) {
+      const int op = cands[k];
+      if (owner_[static_cast<std::size_t>(base + op)] >= 0) continue;
+      std::int32_t space;
       if (op == kLocal) {
-        // Ejection: always accepted.
-        fifo.pop_front();
-        --in_flight_flits_;
-        ++ejected_flits_;
-        moved = true;
-        if (f.tail) {
-          auto& msg = messages_[static_cast<std::size_t>(f.msg)];
-          HPCCSIM_ASSERT(!msg.delivered);
-          // Charge router pipeline depth once per hop of the route.
-          msg.delivered_cycle =
-              cycle_ + 1 +
-              static_cast<std::uint64_t>(params_.pipeline_cycles) *
-                  static_cast<std::uint64_t>(
-                      mesh_.distance(msg.src, msg.dst));
-          msg.delivered = true;
-          --undelivered_;
-          out.owner = -1;
-        }
+        space = std::numeric_limits<std::int32_t>::max();
       } else {
-        const NodeId next = downstream_node(n, op);
-        HPCCSIM_ASSERT(next >= 0);
-        const int nip = downstream_in_port(op);
-        if (!space_in(next, nip)) continue;  // credit stall
-        fifo.pop_front();
-        staged.push_back({next, nip, f});
-        ++staged_count[static_cast<std::size_t>(next)]
-                      [static_cast<std::size_t>(nip)];
-        ++link_flits_;
-        moved = true;
-        if (f.tail) out.owner = -1;
+        const NodeId next = nbr_[static_cast<std::size_t>(n) * 4 +
+                                 static_cast<std::size_t>(op)];
+        const std::int32_t dp = pidx(next, opposite(op));
+        space = cap_ -
+                static_cast<std::int32_t>(
+                    q_size_[static_cast<std::size_t>(dp)]) -
+                staged_count_[static_cast<std::size_t>(dp)];
+      }
+      if (space > best_space) {
+        best_space = space;
+        best = op;
+      }
+    }
+    if (best >= 0) owner_[static_cast<std::size_t>(base + best)] =
+        static_cast<std::int8_t>(ip);
+  }
+
+  // Traversal: one flit per owned output port.
+  for (int op = 0; op < kPorts; ++op) {
+    const std::int8_t own = owner_[static_cast<std::size_t>(base + op)];
+    if (own < 0) continue;
+    const std::int32_t p = base + own;
+    if (q_size_[static_cast<std::size_t>(p)] == 0) continue;
+    const Flit f = fifo_front(p);
+
+    if (op == kLocal) {
+      // Ejection: always accepted.
+      fifo_pop(p, n);
+      --in_flight_flits_;
+      ++ejected_flits_;
+      moved = true;
+      if (f.tail) {
+        auto& msg = messages_[static_cast<std::size_t>(f.msg)];
+        HPCCSIM_ASSERT(!msg.delivered);
+        // Charge router pipeline depth once per hop of the route.
+        msg.delivered_cycle =
+            cycle_ + 1 +
+            static_cast<std::uint64_t>(params_.pipeline_cycles) *
+                static_cast<std::uint64_t>(mesh_.distance(msg.src, msg.dst));
+        msg.delivered = true;
+        --undelivered_;
+        owner_[static_cast<std::size_t>(base + op)] = -1;
+      }
+    } else {
+      const NodeId next = nbr_[static_cast<std::size_t>(n) * 4 +
+                               static_cast<std::size_t>(op)];
+      HPCCSIM_ASSERT(next >= 0);
+      const int nip = opposite(op);
+      if (!has_space(pidx(next, nip))) continue;  // credit stall
+      fifo_pop(p, n);
+      stage(next, nip, f);
+      ++link_flits_;
+      moved = true;
+      if (f.tail) owner_[static_cast<std::size_t>(base + op)] = -1;
+    }
+  }
+}
+
+// Phase 3: staged arrivals become visible next cycle. At most one flit
+// is staged per (node, port) per cycle — each input port has a unique
+// upstream output — so application order cannot reorder a FIFO.
+void FlitNetwork::phase3_apply() {
+  for (const Staged& s : staged_) {
+    const std::int32_t p = pidx(s.node, s.port);
+    auto head = q_head_[static_cast<std::size_t>(p)];
+    auto& size = q_size_[static_cast<std::size_t>(p)];
+    std::int32_t slot = head + size;
+    if (slot >= cap_) slot -= cap_;
+    buf_[static_cast<std::size_t>(p * cap_ + slot)] = s.flit;
+    ++size;
+    staged_count_[static_cast<std::size_t>(p)] = 0;
+    if (router_flits_[static_cast<std::size_t>(s.node)]++ == 0)
+      set_bit(active_, s.node);
+  }
+  staged_.clear();
+}
+
+bool FlitNetwork::step_impl(bool full_scan) {
+  bool moved = false;
+  phase1_inject(moved);
+  if (full_scan) {
+    for (NodeId n = 0; n < n_; ++n) phase2_router(n, moved);
+  } else {
+    // Only routers holding a visible flit can change any state this
+    // cycle; both walks below visit exactly those routers in id order,
+    // matching the full scan (skipped routers are provable no-ops).
+    std::int64_t active_count = 0;
+    for (const std::uint64_t w : active_)
+      active_count += std::popcount(w);
+    router_visits_ += active_count;
+    if (active_count * 2 >= static_cast<std::int64_t>(n_)) {
+      // Dense regime (saturation): a predictable linear sweep beats
+      // the bit-extraction chain.
+      for (NodeId n = 0; n < n_; ++n)
+        if (router_flits_[static_cast<std::size_t>(n)] > 0)
+          phase2_router(n, moved);
+    } else {
+      // Sparse regime: walk set bits. Bits are only cleared for the
+      // router being visited, so snapshotting each word is safe.
+      for (std::size_t wi = 0; wi < active_.size(); ++wi) {
+        std::uint64_t w = active_[wi];
+        while (w) {
+          const NodeId n =
+              static_cast<NodeId>((wi << 6) + std::countr_zero(w));
+          w &= w - 1;
+          phase2_router(n, moved);
+        }
       }
     }
   }
-
-  // Phase 3: arrivals become visible next cycle.
-  for (auto& s : staged)
-    routers_[static_cast<std::size_t>(s.node)]
-        .in[static_cast<std::size_t>(s.port)]
-        .fifo.push_back(s.flit);
-
+  phase3_apply();
   ++cycle_;
   return moved;
 }
 
+bool FlitNetwork::step() { return step_impl(false); }
+bool FlitNetwork::step_reference() { return step_impl(true); }
+
+FlitNetwork::InjectHorizon FlitNetwork::inject_horizon() const {
+  InjectHorizon h;
+  h.first = kNever;
+  h.second = kNever;
+  h.node = -1;
+  bool multi = false;
+  for (std::size_t wi = 0; wi < inject_mask_.size(); ++wi) {
+    std::uint64_t w = inject_mask_[wi];
+    while (w) {
+      const NodeId n =
+          static_cast<NodeId>((wi << 6) + std::countr_zero(w));
+      w &= w - 1;
+      const auto& pend = inject_[static_cast<std::size_t>(n)].pending;
+      const std::uint64_t c =
+          messages_[static_cast<std::size_t>(pend.front())].inject_cycle;
+      if (c < h.first) {
+        h.first = c;
+        h.node = n;
+        multi = false;
+      } else if (c == h.first) {
+        multi = true;
+      }
+    }
+  }
+  if (multi) {
+    h.node = -1;
+    return h;
+  }
+  for (std::size_t wi = 0; wi < inject_mask_.size(); ++wi) {
+    std::uint64_t w = inject_mask_[wi];
+    while (w) {
+      const NodeId n =
+          static_cast<NodeId>((wi << 6) + std::countr_zero(w));
+      w &= w - 1;
+      const auto& pend = inject_[static_cast<std::size_t>(n)].pending;
+      if (n == h.node) {
+        if (pend.size() > 1)
+          h.second = std::min(
+              h.second,
+              messages_[static_cast<std::size_t>(pend[1])].inject_cycle);
+      } else {
+        h.second = std::min(
+            h.second,
+            messages_[static_cast<std::size_t>(pend.front())].inject_cycle);
+      }
+    }
+  }
+  return h;
+}
+
+void FlitNetwork::throw_max_cycles(std::uint64_t max_cycles) const {
+  throw std::runtime_error(
+      "FlitNetwork::run exceeded max_cycles=" + std::to_string(max_cycles) +
+      " (cycle=" + std::to_string(cycle_) +
+      ", in-flight flits=" + std::to_string(in_flight_flits_) +
+      ", undelivered messages=" + std::to_string(undelivered_) + ")");
+}
+
 void FlitNetwork::run(std::uint64_t max_cycles) {
   while (undelivered_ > 0) {
-    if (cycle_ >= max_cycles)
-      throw std::runtime_error("FlitNetwork::run exceeded max_cycles");
+    if (cycle_ >= max_cycles) throw_max_cycles(max_cycles);
+    if (in_flight_flits_ == 0) {
+      // The network is empty: the next state change is an injection.
+      const InjectHorizon h = inject_horizon();
+      HPCCSIM_ASSERT(h.first != kNever);
+      if (h.first > cycle_) {
+        // Idle-cycle skip: every cycle in [cycle_, h.first) is a
+        // provable no-op (empty network, nothing eligible to inject),
+        // so jump the clock (docs/MODEL.md §10). Clamp to max_cycles
+        // so the overflow throw fires exactly as under stepping.
+        const std::uint64_t to = std::min(h.first, max_cycles);
+        skipped_cycles_ += to - cycle_;
+        cycle_ = to;
+        if (cycle_ >= max_cycles) throw_max_cycles(max_cycles);
+      }
+      if (h.node >= 0) {
+        // Wormhole fast-forward: a lone worm on an empty network
+        // streams one flit per cycle with no allocation or credit
+        // stalls (input buffers hold >= 2 flits), so its tail ejects
+        // in cycle start + hops + flits, and the network is empty
+        // again one cycle later. Safe only if no other message can
+        // start injecting before that point.
+        auto& st = inject_[static_cast<std::size_t>(h.node)];
+        const std::int32_t m = st.pending.front();
+        HPCCSIM_ASSERT(st.flits_sent == 0);
+        const auto& msg = messages_[static_cast<std::size_t>(m)];
+        const auto hops =
+            static_cast<std::uint64_t>(mesh_.distance(msg.src, msg.dst));
+        const auto nflits = static_cast<std::uint64_t>(flits_of(m));
+        const std::uint64_t done = cycle_ + hops + nflits + 1;
+        if (h.second >= done && done <= max_cycles) {
+          auto& mm = messages_[static_cast<std::size_t>(m)];
+          mm.delivered_cycle =
+              done + static_cast<std::uint64_t>(params_.pipeline_cycles) * hops;
+          mm.delivered = true;
+          --undelivered_;
+          injected_flits_ += nflits;
+          ejected_flits_ += nflits;
+          link_flits_ += nflits * hops;
+          ffwd_flits_ += nflits;
+          ++ffwd_messages_;
+          st.pending.pop_front();
+          if (st.pending.empty()) clear_bit(inject_mask_, h.node);
+          cycle_ = done;
+          continue;
+        }
+      }
+    }
     step();
   }
+}
+
+void FlitNetwork::run_reference(std::uint64_t max_cycles) {
+  while (undelivered_ > 0) {
+    if (cycle_ >= max_cycles) throw_max_cycles(max_cycles);
+    step_reference();
+  }
+}
+
+void FlitNetwork::dump_counters(obs::Registry& reg) const {
+  reg.counter("mesh.link.flits").set(static_cast<std::int64_t>(link_flits_));
+  reg.counter("mesh.flit.injected")
+      .set(static_cast<std::int64_t>(injected_flits_));
+  reg.counter("mesh.flit.ejected")
+      .set(static_cast<std::int64_t>(ejected_flits_));
+  reg.counter("mesh.flit.cycles").set(static_cast<std::int64_t>(cycle_));
+  reg.counter("mesh.flit.cycles_skipped")
+      .set(static_cast<std::int64_t>(skipped_cycles_));
+  reg.counter("mesh.flit.ffwd_messages")
+      .set(static_cast<std::int64_t>(ffwd_messages_));
+  reg.counter("mesh.flit.ffwd_flits")
+      .set(static_cast<std::int64_t>(ffwd_flits_));
+  reg.counter("mesh.flit.router_visits")
+      .set(static_cast<std::int64_t>(router_visits_));
 }
 
 sim::Time FlitNetwork::cycle_time() const {
@@ -253,6 +443,14 @@ std::uint64_t FlitNetwork::latency_cycles(std::size_t i) const {
   HPCCSIM_EXPECTS(i < messages_.size());
   const auto& m = messages_[i];
   HPCCSIM_EXPECTS(m.delivered);
+  return m.delivered_cycle - m.inject_cycle;
+}
+
+std::optional<std::uint64_t> FlitNetwork::try_latency_cycles(
+    std::size_t i) const {
+  HPCCSIM_EXPECTS(i < messages_.size());
+  const auto& m = messages_[i];
+  if (!m.delivered) return std::nullopt;
   return m.delivered_cycle - m.inject_cycle;
 }
 

@@ -1,4 +1,4 @@
-// Cycle-approximate flit-level wormhole router network.
+// Cycle-accurate flit-level wormhole router network.
 //
 // This is the reference model the cheap analytical model is validated
 // against (bench/ablate_contention). It simulates input-buffered wormhole
@@ -17,15 +17,40 @@
 // The simulation is deterministic: routers are stepped in id order,
 // input ports in index order, and adaptive choices break ties by
 // route-preference order.
+//
+// Hot-path layout (docs/MODEL.md §10): router state is structure-of-
+// arrays — flits are 12-byte POD records in one flat preallocated ring-
+// buffer arena (per-port capacity = input_buffer_flits), with flat
+// head/size/owner arrays beside it. After construction, stepping never
+// touches the heap. Three scheduling optimisations sit on top, all
+// provably result-identical to plain per-cycle stepping:
+//
+//   - active-set stepping: step() visits only routers that hold at
+//     least one visible flit (a bitmap kept exact by push/pop), so the
+//     per-cycle cost scales with flits in flight, not mesh size;
+//   - idle-cycle skip: run() jumps the cycle counter over windows in
+//     which the network is empty and no injection is eligible;
+//   - wormhole fast-forward: when the network is empty and exactly one
+//     message is due before any other, run() streams the whole worm
+//     head-to-tail in closed form instead of stepping it cycle by
+//     cycle, falling back to stepping the moment a second message
+//     could contend.
+//
+// step_reference() / run_reference() keep the naive full-scan schedule
+// compiled in as a cross-check mode: tests assert the fast path yields
+// byte-identical delivered_cycle, link/injected/ejected flit counters,
+// and final cycle on every configuration (tests/flit_test.cpp).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "core/time.hpp"
 #include "mesh/topology.hpp"
+#include "obs/counters.hpp"
 #include "util/units.hpp"
 
 namespace hpccsim::mesh {
@@ -71,10 +96,23 @@ class FlitNetwork {
 
   /// Run until all injected messages are delivered (or `max_cycles` hits,
   /// which throws — the network is deadlock-free, so that is a bug).
+  /// Uses the fast schedule: active-set stepping plus idle-cycle skip
+  /// and wormhole fast-forward. Results are identical to
+  /// run_reference() on every input.
   void run(std::uint64_t max_cycles = 50'000'000);
 
-  /// Advance exactly one cycle; returns true if any flit moved.
+  /// Cross-check mode: run to completion with the naive full-scan
+  /// schedule (every router visited every cycle, no skip, no
+  /// fast-forward).
+  void run_reference(std::uint64_t max_cycles = 50'000'000);
+
+  /// Advance exactly one cycle (active-set schedule); returns true if
+  /// any flit moved.
   bool step();
+
+  /// Advance exactly one cycle visiting all routers (the pre-overhaul
+  /// schedule); byte-identical state evolution to step().
+  bool step_reference();
 
   std::uint64_t cycle() const { return cycle_; }
   const std::vector<FlitMessage>& messages() const { return messages_; }
@@ -86,11 +124,35 @@ class FlitNetwork {
   std::uint64_t injected_flits() const { return injected_flits_; }
   std::uint64_t ejected_flits() const { return ejected_flits_; }
 
+  /// Flits currently buffered in the network (injected, not ejected).
+  std::int64_t in_flight_flits() const { return in_flight_flits_; }
+  /// Messages injected or queued but not yet fully delivered.
+  std::int64_t undelivered() const { return undelivered_; }
+
+  // Fast-path scheduling counters (all zero under run_reference()).
+  /// Cycles the clock jumped over because the network was provably idle.
+  std::uint64_t skipped_cycles() const { return skipped_cycles_; }
+  /// Flits streamed in bulk by the wormhole fast-forward.
+  std::uint64_t fastforwarded_flits() const { return ffwd_flits_; }
+  /// Messages delivered entirely by the wormhole fast-forward.
+  std::uint64_t fastforwarded_messages() const { return ffwd_messages_; }
+  /// Routers visited by the active-set schedule (full scan would be
+  /// cycles * node_count).
+  std::uint64_t router_visits() const { return router_visits_; }
+
+  /// Snapshot all counters into an observability registry under the
+  /// "mesh.link.*" / "mesh.flit.*" names (docs/METRICS.md catalog).
+  void dump_counters(obs::Registry& reg) const;
+
   /// Wall-clock duration of one cycle (flit serialization time).
   sim::Time cycle_time() const;
 
-  /// Latency of message i in cycles (inject -> tail ejected).
+  /// Latency of message i in cycles (inject -> tail ejected). The
+  /// message must be delivered (precondition; see try_latency_cycles).
   std::uint64_t latency_cycles(std::size_t i) const;
+
+  /// Latency of message i, or nullopt while it is still undelivered.
+  std::optional<std::uint64_t> try_latency_cycles(std::size_t i) const;
 
   const Mesh2D& mesh() const { return mesh_; }
 
@@ -102,22 +164,17 @@ class FlitNetwork {
 
   struct Flit {
     std::int32_t msg = -1;
-    bool head = false;
-    bool tail = false;
     NodeId dst = -1;
+    std::uint8_t head = 0;
+    std::uint8_t tail = 0;
   };
+  static_assert(sizeof(Flit) <= 16 && std::is_trivially_copyable_v<Flit>,
+                "flits must stay small POD records");
 
-  struct InputPort {
-    std::deque<Flit> fifo;
-  };
-
-  struct OutputPort {
-    int owner = -1;  // input port index that holds the channel
-  };
-
-  struct Router {
-    std::vector<InputPort> in = std::vector<InputPort>(kPorts);
-    std::vector<OutputPort> out = std::vector<OutputPort>(kPorts);
+  struct Staged {
+    NodeId node;
+    std::int32_t port;
+    Flit flit;
   };
 
   // Route computation: candidate output ports for a flit at `node`
@@ -125,29 +182,93 @@ class FlitNetwork {
   // candidate; WestFirst may return several for the adaptive phase.
   // kLocal (alone) when node == dst.
   void route_candidates(NodeId node, NodeId dst, int out[3], int& count) const;
-  // Is there space in the input buffer the output port feeds?
-  bool downstream_has_space(NodeId node, int out_port) const;
-  NodeId downstream_node(NodeId node, int out_port) const;
-  int downstream_in_port(int out_port) const;
+
+  // Flat index of (node, port).
+  std::int32_t pidx(NodeId node, int port) const {
+    return node * kPorts + port;
+  }
+  // Is there space for one more flit (buffered + staged) at this port?
+  bool has_space(std::int32_t p) const {
+    return static_cast<std::int32_t>(q_size_[static_cast<std::size_t>(p)]) +
+               staged_count_[static_cast<std::size_t>(p)] <
+           params_.input_buffer_flits;
+  }
+  const Flit& fifo_front(std::int32_t p) const {
+    return buf_[static_cast<std::size_t>(p * cap_ + q_head_[
+        static_cast<std::size_t>(p)])];
+  }
+  void fifo_pop(std::int32_t p, NodeId node);
+  void stage(NodeId node, int port, const Flit& f);
+
+  void set_bit(std::vector<std::uint64_t>& bm, NodeId n) {
+    bm[static_cast<std::size_t>(n >> 6)] |= std::uint64_t{1} << (n & 63);
+  }
+  void clear_bit(std::vector<std::uint64_t>& bm, NodeId n) {
+    bm[static_cast<std::size_t>(n >> 6)] &= ~(std::uint64_t{1} << (n & 63));
+  }
+
+  // One cycle of the three-phase schedule; `full_scan` selects the
+  // reference (all routers) vs active-set router walk.
+  bool step_impl(bool full_scan);
+  void phase1_inject(bool& moved);
+  void phase2_router(NodeId n, bool& moved);
+  void phase3_apply();
+
+  // The pending injection horizon when the network is empty: earliest
+  // eligible inject cycle, the (unique) node holding it, and the
+  // earliest cycle any *other* message could start injecting.
+  struct InjectHorizon {
+    std::uint64_t first = 0;       // min front inject_cycle
+    NodeId node = -1;              // its source (-1 if tied across nodes)
+    std::uint64_t second = 0;      // next message after that one
+  };
+  InjectHorizon inject_horizon() const;
+
+  [[noreturn]] void throw_max_cycles(std::uint64_t max_cycles) const;
+
+  std::int64_t flits_of(std::int32_t msg) const;
 
   Mesh2D mesh_;
   FlitParams params_;
-  std::vector<Router> routers_;
+  std::int32_t n_ = 0;    // router count
+  std::int32_t cap_ = 0;  // per-input-port buffer capacity (flits)
+
+  // --- SoA router state, all preallocated at construction -------------
+  std::vector<Flit> buf_;                  // n * 5 * cap ring storage
+  std::vector<std::uint16_t> q_head_;      // n * 5 ring head index
+  std::vector<std::uint16_t> q_size_;      // n * 5 ring occupancy
+  std::vector<std::int8_t> owner_;         // n * 5 output-port owner
+  std::vector<std::int32_t> router_flits_; // n: visible flits per router
+  std::vector<std::int16_t> staged_count_; // n * 5 staged this cycle
+  std::vector<Staged> staged_;             // reused arrival list
+  std::vector<NodeId> nbr_;                // n * 4 neighbour table
+  std::vector<std::int16_t> cx_, cy_;      // n coordinates
+  // Bitmaps, one bit per router, kept exact at cycle boundaries:
+  // active_: router holds >= 1 visible flit; inject_mask_: source has a
+  // non-empty pending-message queue.
+  std::vector<std::uint64_t> active_;
+  std::vector<std::uint64_t> inject_mask_;
+
   std::vector<FlitMessage> messages_;
   // Per-source queue of (message index) not yet fully injected and the
-  // number of flits of the current message already injected.
+  // number of flits of the current message already injected. Cold path:
+  // only inject() grows it.
   struct InjectState {
     std::deque<std::int32_t> pending;
     std::int64_t flits_sent = 0;
   };
   std::vector<InjectState> inject_;
-  std::int64_t flits_of(std::int32_t msg) const;
+
   std::uint64_t cycle_ = 0;
   std::int64_t in_flight_flits_ = 0;
   std::int64_t undelivered_ = 0;
   std::uint64_t link_flits_ = 0;
   std::uint64_t injected_flits_ = 0;
   std::uint64_t ejected_flits_ = 0;
+  std::uint64_t skipped_cycles_ = 0;
+  std::uint64_t ffwd_flits_ = 0;
+  std::uint64_t ffwd_messages_ = 0;
+  std::uint64_t router_visits_ = 0;
 };
 
 }  // namespace hpccsim::mesh

@@ -28,6 +28,14 @@ void emit_pairs(std::ostringstream& os,
 
 }  // namespace
 
+WallTimer::WallTimer() : start_ns_(monotonic_ns()) {}
+
+void WallTimer::restart() { start_ns_ = monotonic_ns(); }
+
+double WallTimer::elapsed_s() const {
+  return static_cast<double>(monotonic_ns() - start_ns_) / 1e9;
+}
+
 BenchMetrics::BenchMetrics(std::string bench)
     : bench_(std::move(bench)), start_ns_(monotonic_ns()) {}
 

@@ -32,6 +32,19 @@
 
 namespace hpccsim::obs {
 
+/// Host wall-clock stopwatch (monotonic) for timing bench sections.
+/// Wall numbers are host-dependent: report them, never gate on them
+/// (tools/check_metrics.py treats wall time as warn-only).
+class WallTimer {
+ public:
+  WallTimer();
+  void restart();
+  double elapsed_s() const;
+
+ private:
+  std::uint64_t start_ns_;
+};
+
 class BenchMetrics {
  public:
   explicit BenchMetrics(std::string bench);

@@ -1,0 +1,305 @@
+// Fast-path vs reference equivalence tests for the flit-level wormhole
+// network (docs/MODEL.md §10).
+//
+// The overhaul of FlitNetwork (SoA layout, active-set stepping,
+// idle-cycle skip, wormhole fast-forward) claims *byte-identical*
+// results to naive per-cycle full-scan stepping. These tests hold it to
+// that: randomized-traffic property sweeps across routing algorithms,
+// mesh shapes, and load levels compare run() against run_reference()
+// on every delivered cycle and every counter, plus golden pinned
+// counter values, the scheduling counters, and the overflow
+// diagnostics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mesh/flit.hpp"
+#include "mesh/traffic.hpp"
+#include "obs/counters.hpp"
+#include "util/rng.hpp"
+
+namespace hpccsim::mesh {
+namespace {
+
+struct Injection {
+  NodeId src;
+  NodeId dst;
+  Bytes bytes;
+  std::uint64_t cycle;
+};
+
+// Seeded random workload: `gap_cycles` spreads the injections; small
+// gaps saturate the mesh, large gaps leave it idle between worms.
+std::vector<Injection> random_workload(const Mesh2D& m, std::uint64_t seed,
+                                       int count, std::uint64_t gap_cycles) {
+  Rng rng(seed);
+  std::vector<Injection> out;
+  std::uint64_t at = 0;
+  for (int i = 0; i < count; ++i) {
+    const auto s = static_cast<NodeId>(rng.below(m.node_count()));
+    auto d = static_cast<NodeId>(rng.below(m.node_count()));
+    if (d == s) d = (d + 1) % m.node_count();
+    at += rng.below(2 * gap_cycles + 1);
+    out.push_back({s, d, 32 + rng.below(480), at});
+  }
+  return out;
+}
+
+void fill(FlitNetwork& net, const std::vector<Injection>& w) {
+  for (const auto& i : w) net.inject(i.src, i.dst, i.bytes, i.cycle);
+}
+
+// The equivalence oracle: fast run() vs full-scan run_reference() must
+// agree on every message's delivered cycle, every traffic counter, and
+// the final cycle count.
+void expect_equivalent(const Mesh2D& mesh, const FlitParams& fp,
+                       const std::vector<Injection>& w,
+                       const std::string& what) {
+  FlitNetwork fast(mesh, fp);
+  FlitNetwork ref(mesh, fp);
+  fill(fast, w);
+  fill(ref, w);
+  fast.run();
+  ref.run_reference();
+  ASSERT_EQ(fast.messages().size(), ref.messages().size()) << what;
+  for (std::size_t i = 0; i < fast.messages().size(); ++i) {
+    ASSERT_TRUE(fast.messages()[i].delivered) << what << " msg " << i;
+    ASSERT_TRUE(ref.messages()[i].delivered) << what << " msg " << i;
+    ASSERT_EQ(fast.messages()[i].delivered_cycle,
+              ref.messages()[i].delivered_cycle)
+        << what << " msg " << i;
+  }
+  EXPECT_EQ(fast.link_flits(), ref.link_flits()) << what;
+  EXPECT_EQ(fast.injected_flits(), ref.injected_flits()) << what;
+  EXPECT_EQ(fast.ejected_flits(), ref.ejected_flits()) << what;
+  EXPECT_EQ(fast.cycle(), ref.cycle()) << what;
+  EXPECT_EQ(fast.in_flight_flits(), 0);
+  EXPECT_EQ(ref.undelivered(), 0);
+  // The reference schedule must not engage any fast-path machinery.
+  EXPECT_EQ(ref.skipped_cycles(), 0u) << what;
+  EXPECT_EQ(ref.fastforwarded_flits(), 0u) << what;
+  EXPECT_EQ(ref.router_visits(), 0u) << what;
+}
+
+// ---------------------------------------------- randomized property --
+
+struct EquivCase {
+  int width, height;
+  RouteAlgo algo;
+  std::uint64_t gap_cycles;  // 0 = everything at once (saturating)
+};
+
+class FlitEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(FlitEquivalence, FastPathMatchesReference) {
+  const EquivCase c = GetParam();
+  const Mesh2D mesh(c.width, c.height);
+  FlitParams fp;
+  fp.routing = c.algo;
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    const auto w =
+        random_workload(mesh, seed, 3 * mesh.node_count(), c.gap_cycles);
+    expect_equivalent(
+        mesh, fp, w,
+        std::to_string(c.width) + "x" + std::to_string(c.height) + " " +
+            route_algo_name(c.algo) + " gap=" + std::to_string(c.gap_cycles) +
+            " seed=" + std::to_string(seed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAlgosLoads, FlitEquivalence,
+    ::testing::Values(
+        // Saturating loads: everything injected in a tight window.
+        EquivCase{8, 8, RouteAlgo::XY, 0},
+        EquivCase{8, 8, RouteAlgo::WestFirst, 0},
+        EquivCase{16, 4, RouteAlgo::XY, 4},
+        EquivCase{16, 4, RouteAlgo::WestFirst, 4},
+        // Mixed: bursts with idle windows between them.
+        EquivCase{6, 6, RouteAlgo::XY, 300},
+        EquivCase{6, 6, RouteAlgo::WestFirst, 300},
+        // Sparse: mostly lone worms — exercises skip + fast-forward.
+        EquivCase{8, 8, RouteAlgo::XY, 1500},
+        EquivCase{8, 8, RouteAlgo::WestFirst, 1500},
+        EquivCase{1, 8, RouteAlgo::XY, 2000},
+        EquivCase{12, 2, RouteAlgo::WestFirst, 2000}));
+
+// Pattern-shaped traffic (transpose and hotspot hit systematic
+// contention structure that uniform random can miss).
+TEST(FlitEquivalenceTraffic, PatternsMatchReference) {
+  const Mesh2D mesh(8, 8);
+  for (const Pattern p :
+       {Pattern::Transpose, Pattern::HotSpot, Pattern::BitReversal}) {
+    for (const RouteAlgo algo : {RouteAlgo::XY, RouteAlgo::WestFirst}) {
+      TrafficConfig cfg;
+      cfg.pattern = p;
+      cfg.messages_per_node = 5;
+      cfg.message_bytes = 256;
+      cfg.mean_gap = sim::Time::us(40);
+      cfg.seed = 7;
+      FlitParams fp;
+      fp.routing = algo;
+      FlitNetwork probe(mesh, fp);
+      const double cyc_us = probe.cycle_time().as_us();
+      std::vector<Injection> w;
+      for (const auto& t : generate_traffic(mesh, cfg))
+        w.push_back({t.src, t.dst, t.bytes,
+                     static_cast<std::uint64_t>(t.depart.as_us() / cyc_us)});
+      expect_equivalent(mesh, fp, w,
+                        std::string(pattern_name(p)) + "/" +
+                            route_algo_name(algo));
+    }
+  }
+}
+
+// step() and step_reference() agree cycle by cycle, not just at the end.
+TEST(FlitEquivalenceTraffic, LockstepSingleCycles) {
+  const Mesh2D mesh(6, 6);
+  const auto w = random_workload(mesh, 42, 120, 20);
+  FlitNetwork fast(mesh, FlitParams{});
+  FlitNetwork ref(mesh, FlitParams{});
+  fill(fast, w);
+  fill(ref, w);
+  for (int cycle = 0; cycle < 3000 && ref.undelivered() > 0; ++cycle) {
+    const bool a = fast.step();
+    const bool b = ref.step_reference();
+    ASSERT_EQ(a, b) << "moved flag diverged at cycle " << cycle;
+    ASSERT_EQ(fast.link_flits(), ref.link_flits()) << "cycle " << cycle;
+    ASSERT_EQ(fast.injected_flits(), ref.injected_flits())
+        << "cycle " << cycle;
+    ASSERT_EQ(fast.ejected_flits(), ref.ejected_flits()) << "cycle " << cycle;
+    ASSERT_EQ(fast.in_flight_flits(), ref.in_flight_flits())
+        << "cycle " << cycle;
+  }
+  EXPECT_EQ(ref.undelivered(), 0);
+  for (std::size_t i = 0; i < fast.messages().size(); ++i)
+    EXPECT_EQ(fast.messages()[i].delivered_cycle,
+              ref.messages()[i].delivered_cycle);
+}
+
+// ------------------------------------------- scheduling counters ----
+
+TEST(FlitFastPath, SparseTrafficEngagesSkipAndFastForward) {
+  const Mesh2D mesh(8, 8);
+  FlitNetwork net(mesh, FlitParams{});
+  // Lone worms separated by long idle windows: every one should be
+  // fast-forwarded and every gap skipped.
+  std::uint64_t at = 0;
+  for (int i = 0; i < 20; ++i) {
+    net.inject(static_cast<NodeId>(i % 8), static_cast<NodeId>(56 + i % 8),
+               512, at);
+    at += 10'000;
+  }
+  net.run();
+  EXPECT_EQ(net.fastforwarded_messages(), 20u);
+  EXPECT_EQ(net.fastforwarded_flits(), 20u * 32u);
+  EXPECT_GT(net.skipped_cycles(), 100'000u);
+  // Fully fast-forwarded: the stepping loop never ran a cycle.
+  EXPECT_EQ(net.router_visits(), 0u);
+}
+
+TEST(FlitFastPath, SaturatedTrafficDoesNotFastForward) {
+  const Mesh2D mesh(6, 6);
+  FlitNetwork net(mesh, FlitParams{});
+  const auto w = random_workload(mesh, 3, 200, 0);
+  fill(net, w);
+  net.run();
+  // With everything in flight at once there is never a lone worm.
+  EXPECT_EQ(net.fastforwarded_messages(), 0u);
+  EXPECT_EQ(net.skipped_cycles(), 0u);
+  EXPECT_GT(net.router_visits(), 0u);
+  // Active-set stepping must beat the full scan's visit count.
+  EXPECT_LT(net.router_visits(),
+            net.cycle() * static_cast<std::uint64_t>(mesh.node_count()));
+}
+
+// ------------------------------------------------ golden counters ----
+
+// Pinned config: any change to these totals means the flit model's
+// behaviour changed and must be owned (see bench/baselines.json for the
+// same policy on sim time).
+TEST(FlitGolden, PinnedCountersAndRegistryDump) {
+  const Mesh2D mesh(8, 8);
+  TrafficConfig cfg;
+  cfg.pattern = Pattern::UniformRandom;
+  cfg.messages_per_node = 10;
+  cfg.message_bytes = 512;
+  cfg.mean_gap = sim::Time::us(100);
+  cfg.seed = 92;
+  FlitNetwork net(mesh, FlitParams{});
+  const double cyc_us = net.cycle_time().as_us();
+  for (const auto& t : generate_traffic(mesh, cfg))
+    net.inject(t.src, t.dst, t.bytes,
+               static_cast<std::uint64_t>(t.depart.as_us() / cyc_us));
+  net.run();
+
+  EXPECT_EQ(net.injected_flits(), 20480u);  // 640 messages x 32 flits
+  EXPECT_EQ(net.ejected_flits(), 20480u);
+  EXPECT_EQ(net.link_flits(), 107040u);
+  EXPECT_EQ(net.cycle(), 2738u);
+
+  obs::Registry reg;
+  net.dump_counters(reg);
+  EXPECT_EQ(reg.value("mesh.link.flits"),
+            static_cast<std::int64_t>(net.link_flits()));
+  EXPECT_EQ(reg.value("mesh.flit.injected"), 20480);
+  EXPECT_EQ(reg.value("mesh.flit.ejected"), 20480);
+  EXPECT_EQ(reg.value("mesh.flit.cycles"),
+            static_cast<std::int64_t>(net.cycle()));
+  EXPECT_EQ(reg.value("mesh.flit.cycles_skipped"),
+            static_cast<std::int64_t>(net.skipped_cycles()));
+  EXPECT_EQ(reg.value("mesh.flit.ffwd_flits"),
+            static_cast<std::int64_t>(net.fastforwarded_flits()));
+}
+
+// --------------------------------------- diagnostics and latencies ----
+
+TEST(FlitDiagnostics, MaxCyclesThrowReportsState)
+{
+  FlitNetwork net(Mesh2D(4, 4), FlitParams{});
+  net.inject(0, 15, 256, 0);
+  net.inject(5, 10, 256, 0);
+  try {
+    net.run(3);
+    FAIL() << "expected max_cycles overflow";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("exceeded max_cycles=3"), std::string::npos) << what;
+    EXPECT_NE(what.find("cycle=3"), std::string::npos) << what;
+    EXPECT_NE(what.find("in-flight flits="), std::string::npos) << what;
+    EXPECT_NE(what.find("undelivered messages=2"), std::string::npos) << what;
+  }
+}
+
+TEST(FlitDiagnostics, ReferenceRunThrowsSameDiagnostics) {
+  FlitNetwork net(Mesh2D(4, 4), FlitParams{});
+  net.inject(0, 15, 256, 0);
+  EXPECT_THROW(net.run_reference(2), std::runtime_error);
+}
+
+TEST(FlitDiagnostics, IdleSkipRespectsMaxCycles) {
+  FlitNetwork net(Mesh2D(4, 4), FlitParams{});
+  // Far-future injection: the skip must clamp at max_cycles and throw,
+  // exactly as per-cycle stepping would.
+  net.inject(0, 15, 64, 1'000'000);
+  EXPECT_THROW(net.run(1000), std::runtime_error);
+  EXPECT_LE(net.cycle(), 1000u);
+}
+
+TEST(FlitLatency, UndeliveredLatencyIsGuarded) {
+  FlitNetwork net(Mesh2D(4, 4), FlitParams{});
+  const auto i = net.inject(0, 15, 256, 0);
+  // Not yet run: asking for a latency must not underflow into a huge
+  // unsigned value.
+  EXPECT_FALSE(net.try_latency_cycles(i).has_value());
+  EXPECT_THROW(net.latency_cycles(i), ContractError);
+  EXPECT_THROW(net.try_latency_cycles(99), ContractError);
+  net.run();
+  ASSERT_TRUE(net.try_latency_cycles(i).has_value());
+  EXPECT_EQ(*net.try_latency_cycles(i), net.latency_cycles(i));
+}
+
+}  // namespace
+}  // namespace hpccsim::mesh
