@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
                  "flit-network fast path vs reference wall throughput");
   args.add_option("width", "mesh width", "16");
   args.add_option("height", "mesh height", "16");
+  args.add_option("shape", "mesh as WxH, overrides width/height "
+                  "(weak-scaling presets: 64x64, 128x128)", "");
+  args.add_option("threads", "worker threads for the fast schedule", "1");
   args.add_option("messages", "messages per node per point", "40");
   args.add_option("bytes", "message size in bytes", "1024");
   args.add_option("routing", "xy | west-first", "xy");
@@ -41,13 +44,32 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const Mesh2D mesh(static_cast<std::int32_t>(args.integer("width")),
-                    static_cast<std::int32_t>(args.integer("height")));
+  std::int32_t width = static_cast<std::int32_t>(args.integer("width"));
+  std::int32_t height = static_cast<std::int32_t>(args.integer("height"));
+  if (!args.str("shape").empty()) {
+    int w = 0, h = 0;
+    if (std::sscanf(args.str("shape").c_str(), "%dx%d", &w, &h) != 2 ||
+        w < 1 || h < 1) {
+      std::fprintf(stderr, "bad --shape '%s' (want WxH, e.g. 64x64)\n",
+                   args.str("shape").c_str());
+      return 2;
+    }
+    width = w;
+    height = h;
+  }
+  const int threads = static_cast<int>(args.integer("threads"));
+  if (threads < 1) {
+    std::fprintf(stderr, "--threads must be >= 1\n");
+    return 2;
+  }
+
+  const Mesh2D mesh(width, height);
   FlitParams fp;
   fp.routing = args.str("routing") == "west-first" ? RouteAlgo::WestFirst
                                                    : RouteAlgo::XY;
-  std::printf("== flit throughput: %s mesh, %s routing ==\n",
-              mesh.describe().c_str(), route_algo_name(fp.routing));
+  std::printf("== flit throughput: %s mesh, %s routing, %d thread%s ==\n",
+              mesh.describe().c_str(), route_algo_name(fp.routing), threads,
+              threads == 1 ? "" : "s");
 
   // Sparse -> saturating offered load; sparse points are where the
   // skip/fast-forward machinery pays, saturated points are where the
@@ -58,11 +80,12 @@ int main(int argc, char** argv) {
   Table t({"gap (us)", "cycles", "link flits", "skipped", "ffwd flits",
            "fast (ms)", "ref (ms)", "fast Mhop/s", "speedup"});
   obs::BenchMetrics bm("flit_throughput");
-  bm.config("width", args.integer("width"));
-  bm.config("height", args.integer("height"));
+  bm.config("width", static_cast<std::int64_t>(width));
+  bm.config("height", static_cast<std::int64_t>(height));
   bm.config("messages", args.integer("messages"));
   bm.config("bytes", args.integer("bytes"));
   bm.config("routing", route_algo_name(fp.routing));
+  bm.set_threads(threads);
 
   obs::Registry totals;
   double wall_fast = 0.0, wall_ref = 0.0;
@@ -79,6 +102,10 @@ int main(int argc, char** argv) {
 
     FlitNetwork fast(mesh, fp);
     FlitNetwork ref(mesh, fp);
+    // The reference stays sequential, so with --threads > 1 the
+    // cross-check below doubles as a parallel-vs-sequential oracle at
+    // bench scale.
+    fast.set_threads(threads);
     const double cyc_us = fast.cycle_time().as_us();
     for (const auto& r : trace) {
       const auto at = static_cast<std::uint64_t>(r.depart.as_us() / cyc_us);

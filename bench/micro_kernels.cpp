@@ -222,6 +222,35 @@ void BM_flit_step_reference(benchmark::State& state) {
 }
 BENCHMARK(BM_flit_step_reference);
 
+// Parallel counterpart under the same busy re-inject load. The sharded
+// scheduler only engages through run(), so one iteration drains a full
+// 128-message batch across 4 row-band shards (threads=2) instead of
+// stepping one cycle; items processed counts simulated cycles, making
+// items/s comparable with the per-step pair above.
+void BM_flit_step_parallel(benchmark::State& state) {
+  mesh::FlitNetwork net(mesh::Mesh2D(8, 8), mesh::FlitParams{});
+  net.set_threads(2);  // 4 shards on an 8x8 mesh
+  Rng rng(6);
+  const auto refill = [&net, &rng] {
+    for (int i = 0; i < 128; ++i) {
+      const auto s = static_cast<mesh::NodeId>(rng.below(64));
+      auto d = static_cast<mesh::NodeId>(rng.below(64));
+      if (d == s) d = (d + 1) % 64;
+      net.inject(s, d, 256, net.cycle());
+    }
+  };
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = net.cycle();
+    refill();
+    net.run();
+    cycles += net.cycle() - before;
+    benchmark::DoNotOptimize(net.undelivered());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_flit_step_parallel);
+
 /// Console reporter that also accumulates per-benchmark real times so
 /// the custom main below can emit the shared --json metrics schema.
 class MetricsReporter : public benchmark::ConsoleReporter {

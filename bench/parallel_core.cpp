@@ -1,0 +1,201 @@
+// Parallel flit-core scaling bench: wall-clock cost of the sharded
+// run() scheduler across a thread sweep on one saturated workload,
+// with a byte-identity cross-check between every thread count
+// (docs/MODEL.md §11, docs/PERF.md).
+//
+// Every thread count replays the identical traffic; the first entry of
+// --threads is the oracle, and any divergence in a delivered cycle or
+// a traffic counter at a later entry exits non-zero — so the CI
+// metrics run doubles as the parallel determinism check at bench
+// scale. Wall times and speedups are host-dependent and therefore
+// reported, never gated (the container CI host has a single core; see
+// docs/PERF.md for multi-core numbers). Pass --require-speedup X to
+// turn the max-thread speedup into a hard gate on hosts where the
+// parallelism is real.
+//
+// Shapes: --shape WxH, plus presets "columbia" (the 16K-node Columbia
+// QCD machine of the HPCC program era, approximated as a 128x128
+// mesh) and weak-scaling points 64x64 / 128x128.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mesh/flit.hpp"
+#include "mesh/traffic.hpp"
+#include "obs/metrics.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpccsim;
+  using namespace hpccsim::mesh;
+  ArgParser args("parallel_core",
+                 "sharded flit-network scaling across worker threads");
+  args.add_option("shape", "mesh as WxH, or preset: columbia (=128x128)",
+                  "33x16");
+  args.add_option("threads", "comma list of worker-thread counts",
+                  "1,2,4,8");
+  args.add_option("window", "cycles per parallel burst", "1024");
+  args.add_option("messages", "messages per node", "8");
+  args.add_option("bytes", "message size in bytes", "1024");
+  args.add_option("gap-us", "mean inject gap in us (small = saturated)",
+                  "20");
+  args.add_option("routing", "xy | west-first", "xy");
+  args.add_option("require-speedup",
+                  "fail unless max-thread speedup reaches this (0 = off)",
+                  "0");
+  args.add_json_option();
+  args.add_flag("csv", "emit CSV");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (args.flag("help")) {
+    std::printf("%s", args.usage().c_str());
+    return 0;
+  }
+
+  std::string shape = args.str("shape");
+  if (shape == "columbia") shape = "128x128";
+  int width = 0, height = 0;
+  if (std::sscanf(shape.c_str(), "%dx%d", &width, &height) != 2 ||
+      width < 1 || height < 1) {
+    std::fprintf(stderr, "bad --shape '%s' (want WxH or 'columbia')\n",
+                 args.str("shape").c_str());
+    return 2;
+  }
+  const auto thread_list = args.int_list("threads");
+  if (thread_list.empty()) {
+    std::fprintf(stderr, "--threads must name at least one count\n");
+    return 2;
+  }
+
+  const Mesh2D mesh(width, height);
+  FlitParams fp;
+  fp.routing = args.str("routing") == "west-first" ? RouteAlgo::WestFirst
+                                                   : RouteAlgo::XY;
+  const auto window = static_cast<std::uint64_t>(args.integer("window"));
+
+  TrafficConfig cfg;
+  cfg.pattern = Pattern::UniformRandom;
+  cfg.messages_per_node = static_cast<std::int32_t>(args.integer("messages"));
+  cfg.message_bytes = static_cast<Bytes>(args.integer("bytes"));
+  cfg.mean_gap = sim::Time::us(args.real("gap-us"));
+  cfg.seed = 1992;
+  const auto trace = generate_traffic(mesh, cfg);
+
+  std::printf("== parallel core: %s mesh, %s routing, %zu messages, "
+              "window %llu ==\n",
+              mesh.describe().c_str(), route_algo_name(fp.routing),
+              trace.size(), static_cast<unsigned long long>(window));
+
+  Table t({"threads", "cycles", "boundary", "waits", "windows", "wall (ms)",
+           "speedup"});
+  obs::BenchMetrics bm("parallel_core");
+  bm.config("shape", shape);
+  bm.config("messages", args.integer("messages"));
+  bm.config("bytes", args.integer("bytes"));
+  bm.config("gap_us", args.real("gap-us"));
+  bm.config("routing", route_algo_name(fp.routing));
+  bm.config("window", args.integer("window"));
+
+  int rc = 0;
+  double wall_base = 0.0, wall_best = 0.0;
+  std::int64_t max_threads = 1;
+  std::vector<std::uint64_t> oracle;  // delivered cycles at thread_list[0]
+  std::uint64_t oracle_cycle = 0, oracle_link = 0, oracle_inj = 0,
+                oracle_ej = 0;
+  obs::Registry counters;
+
+  for (std::size_t ti = 0; ti < thread_list.size(); ++ti) {
+    const int threads = static_cast<int>(thread_list[ti]);
+    FlitNetwork net(mesh, fp);
+    net.set_threads(threads);
+    net.set_window(window);
+    const double cyc_us = net.cycle_time().as_us();
+    for (const auto& r : trace)
+      net.inject(r.src, r.dst, r.bytes,
+                 static_cast<std::uint64_t>(r.depart.as_us() / cyc_us));
+
+    obs::WallTimer tw;
+    net.run();
+    const double wall_s = tw.elapsed_s();
+
+    if (ti == 0) {
+      oracle.reserve(net.messages().size());
+      for (const auto& m : net.messages()) oracle.push_back(m.delivered_cycle);
+      oracle_cycle = net.cycle();
+      oracle_link = net.link_flits();
+      oracle_inj = net.injected_flits();
+      oracle_ej = net.ejected_flits();
+      wall_base = wall_s;
+      bm.add_sim_time(net.cycle_time() * net.cycle());
+    } else {
+      // Byte-identity cross-check against the first thread count.
+      for (std::size_t i = 0; i < net.messages().size(); ++i) {
+        if (net.messages()[i].delivered_cycle != oracle[i]) {
+          std::fprintf(stderr,
+                       "FATAL: threads=%d diverged from threads=%lld at "
+                       "message %zu (%llu != %llu)\n",
+                       threads, static_cast<long long>(thread_list[0]), i,
+                       static_cast<unsigned long long>(
+                           net.messages()[i].delivered_cycle),
+                       static_cast<unsigned long long>(oracle[i]));
+          rc = 1;
+          break;
+        }
+      }
+      if (net.cycle() != oracle_cycle || net.link_flits() != oracle_link ||
+          net.injected_flits() != oracle_inj ||
+          net.ejected_flits() != oracle_ej) {
+        std::fprintf(stderr, "FATAL: counter divergence at threads=%d\n",
+                     threads);
+        rc = 1;
+      }
+    }
+    wall_best = wall_s;
+    if (thread_list[ti] > max_threads) max_threads = thread_list[ti];
+    // Counters land in the JSON from the last sweep entry, so the
+    // shard counters reflect the widest configuration. Scheduling
+    // counters are deterministic per thread count only — the
+    // determinism harness normalizes them (tests/compare_jobs.cmake).
+    if (ti + 1 == thread_list.size()) net.dump_counters(counters);
+
+    t.add_row({Table::num(static_cast<double>(threads), 0),
+               Table::num(static_cast<double>(net.cycle()), 0),
+               Table::num(static_cast<double>(net.boundary_flits()), 0),
+               Table::num(static_cast<double>(net.barrier_waits()), 0),
+               Table::num(static_cast<double>(net.parallel_windows()), 0),
+               Table::num(wall_s * 1e3, 2),
+               Table::num(wall_base / wall_s, 2)});
+    bm.metric("wall_t" + std::to_string(threads) + "_s", wall_s);
+    bm.metric("speedup_t" + std::to_string(threads), wall_base / wall_s);
+  }
+  std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());
+  std::printf("expected: identical cycles/boundary-independent counters at "
+              "every thread count; speedup scales with cores (single-core "
+              "hosts pipeline the shards with no gain)\n");
+
+  bm.metric("cycles", static_cast<std::int64_t>(oracle_cycle));
+  bm.metric("link_flits", static_cast<std::int64_t>(oracle_link));
+  bm.metric("injected_flits", static_cast<std::int64_t>(oracle_inj));
+  bm.set_threads(static_cast<int>(max_threads));
+  bm.attach_counters(counters);
+  bm.write_file(args.json_path());
+
+  const double require = args.real("require-speedup");
+  if (require > 0.0 && thread_list.size() > 1) {
+    const double speedup = wall_base / wall_best;
+    if (speedup < require) {
+      std::fprintf(stderr,
+                   "FAIL: speedup %.2fx at max threads below required "
+                   "%.2fx\n",
+                   speedup, require);
+      rc = 1;
+    }
+  }
+  return rc;
+}

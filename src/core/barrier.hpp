@@ -1,0 +1,126 @@
+// Host-thread synchronization for conservatively-synchronized parallel
+// simulation cores (the flit network's sharded scheduler,
+// src/mesh/flit_parallel.cpp).
+//
+// The coroutine primitives in core/sync.hpp synchronize *simulated*
+// processes inside one single-threaded Engine; this header is the host
+// side: real threads pipelining shards of one simulation. Two pieces:
+//
+//   - ProgressCounter: a monotone per-shard clock. The owner publishes
+//     "I have completed cycle c" with release semantics; neighbours
+//     await a target cycle with acquire semantics, so every plain
+//     (non-atomic) write the owner made up to that cycle is visible to
+//     the waiter — shard handoff buffers and credit counters need no
+//     atomics of their own.
+//   - BurstGate: a fork-join gate for a persistent worker pool. The
+//     coordinator publishes one command per burst (generation counter),
+//     workers park on the generation between bursts, and the
+//     coordinator joins on a completion count. Parked workers cost
+//     nothing (futex wait, no spinning).
+//
+// Waiters spin briefly before parking: shard pipelines advance in
+// microseconds when balanced, so the fast path must not enter the
+// kernel, but on oversubscribed hosts (hardware_concurrency < workers)
+// unbounded spinning would livelock the very thread being waited on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace hpccsim {
+
+/// One spin-loop pause. On x86 this is the PAUSE hint; elsewhere a
+/// compiler barrier keeps the load in the loop honest.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Monotone published clock: one writer, any number of waiters.
+class ProgressCounter {
+ public:
+  /// Non-publishing reset (coordinator only, while all waiters are
+  /// parked elsewhere).
+  void reset(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+  /// Publish completion of `v` (release) and wake parked waiters.
+  void publish(std::int64_t v) {
+    v_.store(v, std::memory_order_release);
+    v_.notify_all();
+  }
+
+  std::int64_t current() const { return v_.load(std::memory_order_acquire); }
+
+  /// Block until the published value reaches `target`. Returns the
+  /// number of futex parks taken (0 on the spin fast path) so callers
+  /// can account wait pressure (mesh.flit.shard.barrier_waits).
+  std::int64_t await(std::int64_t target) {
+    std::int64_t v = v_.load(std::memory_order_acquire);
+    if (v >= target) return 0;
+    for (int spin = 0; spin < 128; ++spin) {
+      cpu_relax();
+      v = v_.load(std::memory_order_acquire);
+      if (v >= target) return 0;
+    }
+    std::int64_t parks = 0;
+    do {
+      ++parks;
+      v_.wait(v, std::memory_order_acquire);
+      v = v_.load(std::memory_order_acquire);
+    } while (v < target);
+    return parks;
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fork-join gate for a persistent pool: the coordinator issues
+/// numbered commands, workers execute one command per generation and
+/// check in; the coordinator joins on the check-in count.
+class BurstGate {
+ public:
+  /// Coordinator: publish the next command generation (any plain data
+  /// the workers will read must be written before this call).
+  void issue() {
+    done_.store(0, std::memory_order_relaxed);
+    gen_.fetch_add(1, std::memory_order_acq_rel);
+    gen_.notify_all();
+  }
+
+  /// Worker: park until the generation moves past `seen`; returns the
+  /// new generation to remember.
+  std::uint64_t await_command(std::uint64_t seen) {
+    std::uint64_t g = gen_.load(std::memory_order_acquire);
+    while (g == seen) {
+      gen_.wait(g, std::memory_order_acquire);
+      g = gen_.load(std::memory_order_acquire);
+    }
+    return g;
+  }
+
+  /// Worker: check in after finishing the current command.
+  void complete() {
+    done_.fetch_add(1, std::memory_order_release);
+    done_.notify_all();
+  }
+
+  /// Coordinator: block until `workers` check-ins for this command.
+  void join(int workers) {
+    int d = done_.load(std::memory_order_acquire);
+    while (d < workers) {
+      done_.wait(d, std::memory_order_acquire);
+      d = done_.load(std::memory_order_acquire);
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t> gen_{0};
+  std::atomic<int> done_{0};
+};
+
+}  // namespace hpccsim

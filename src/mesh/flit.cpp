@@ -349,63 +349,92 @@ FlitNetwork::InjectHorizon FlitNetwork::inject_horizon() const {
 }
 
 void FlitNetwork::throw_max_cycles(std::uint64_t max_cycles) const {
+  const bool par = par_eligible();
   throw std::runtime_error(
       "FlitNetwork::run exceeded max_cycles=" + std::to_string(max_cycles) +
       " (cycle=" + std::to_string(cycle_) +
       ", in-flight flits=" + std::to_string(in_flight_flits_) +
-      ", undelivered messages=" + std::to_string(undelivered_) + ")");
+      ", undelivered messages=" + std::to_string(undelivered_) +
+      ", threads=" + std::to_string(par ? threads_ : 1) +
+      ", window=" + std::to_string(par ? window_cycles_ : 1) + ")");
+}
+
+void FlitNetwork::set_threads(int threads) {
+  HPCCSIM_EXPECTS(threads >= 1);
+  HPCCSIM_EXPECTS(threads <= 256);
+  if (threads != threads_) {
+    threads_ = threads;
+    par_.reset();  // shard layout depends on the thread count
+  }
+}
+
+void FlitNetwork::set_window(std::uint64_t cycles) {
+  HPCCSIM_EXPECTS(cycles >= 1);
+  window_cycles_ = cycles;
+}
+
+// Empty-network shortcut shared by run() and run_parallel(): skip idle
+// windows and stream lone worms. Returns true if the fast-forward
+// delivered a message (state advanced past the empty point); false if
+// the caller must step normally (an injection is due now, or another
+// message could contend with the lone worm).
+bool FlitNetwork::try_empty_advance(std::uint64_t max_cycles) {
+  // The network is empty: the next state change is an injection.
+  const InjectHorizon h = inject_horizon();
+  HPCCSIM_ASSERT(h.first != kNever);
+  if (h.first > cycle_) {
+    // Idle-cycle skip: every cycle in [cycle_, h.first) is a
+    // provable no-op (empty network, nothing eligible to inject),
+    // so jump the clock (docs/MODEL.md §10). Clamp to max_cycles
+    // so the overflow throw fires exactly as under stepping.
+    const std::uint64_t to = std::min(h.first, max_cycles);
+    skipped_cycles_ += to - cycle_;
+    cycle_ = to;
+    if (cycle_ >= max_cycles) throw_max_cycles(max_cycles);
+  }
+  if (h.node >= 0) {
+    // Wormhole fast-forward: a lone worm on an empty network
+    // streams one flit per cycle with no allocation or credit
+    // stalls (input buffers hold >= 2 flits), so its tail ejects
+    // in cycle start + hops + flits, and the network is empty
+    // again one cycle later. Safe only if no other message can
+    // start injecting before that point.
+    auto& st = inject_[static_cast<std::size_t>(h.node)];
+    const std::int32_t m = st.pending.front();
+    HPCCSIM_ASSERT(st.flits_sent == 0);
+    const auto& msg = messages_[static_cast<std::size_t>(m)];
+    const auto hops =
+        static_cast<std::uint64_t>(mesh_.distance(msg.src, msg.dst));
+    const auto nflits = static_cast<std::uint64_t>(flits_of(m));
+    const std::uint64_t done = cycle_ + hops + nflits + 1;
+    if (h.second >= done && done <= max_cycles) {
+      auto& mm = messages_[static_cast<std::size_t>(m)];
+      mm.delivered_cycle =
+          done + static_cast<std::uint64_t>(params_.pipeline_cycles) * hops;
+      mm.delivered = true;
+      --undelivered_;
+      injected_flits_ += nflits;
+      ejected_flits_ += nflits;
+      link_flits_ += nflits * hops;
+      ffwd_flits_ += nflits;
+      ++ffwd_messages_;
+      st.pending.pop_front();
+      if (st.pending.empty()) clear_bit(inject_mask_, h.node);
+      cycle_ = done;
+      return true;
+    }
+  }
+  return false;
 }
 
 void FlitNetwork::run(std::uint64_t max_cycles) {
+  if (par_eligible()) {
+    run_parallel(max_cycles);
+    return;
+  }
   while (undelivered_ > 0) {
     if (cycle_ >= max_cycles) throw_max_cycles(max_cycles);
-    if (in_flight_flits_ == 0) {
-      // The network is empty: the next state change is an injection.
-      const InjectHorizon h = inject_horizon();
-      HPCCSIM_ASSERT(h.first != kNever);
-      if (h.first > cycle_) {
-        // Idle-cycle skip: every cycle in [cycle_, h.first) is a
-        // provable no-op (empty network, nothing eligible to inject),
-        // so jump the clock (docs/MODEL.md §10). Clamp to max_cycles
-        // so the overflow throw fires exactly as under stepping.
-        const std::uint64_t to = std::min(h.first, max_cycles);
-        skipped_cycles_ += to - cycle_;
-        cycle_ = to;
-        if (cycle_ >= max_cycles) throw_max_cycles(max_cycles);
-      }
-      if (h.node >= 0) {
-        // Wormhole fast-forward: a lone worm on an empty network
-        // streams one flit per cycle with no allocation or credit
-        // stalls (input buffers hold >= 2 flits), so its tail ejects
-        // in cycle start + hops + flits, and the network is empty
-        // again one cycle later. Safe only if no other message can
-        // start injecting before that point.
-        auto& st = inject_[static_cast<std::size_t>(h.node)];
-        const std::int32_t m = st.pending.front();
-        HPCCSIM_ASSERT(st.flits_sent == 0);
-        const auto& msg = messages_[static_cast<std::size_t>(m)];
-        const auto hops =
-            static_cast<std::uint64_t>(mesh_.distance(msg.src, msg.dst));
-        const auto nflits = static_cast<std::uint64_t>(flits_of(m));
-        const std::uint64_t done = cycle_ + hops + nflits + 1;
-        if (h.second >= done && done <= max_cycles) {
-          auto& mm = messages_[static_cast<std::size_t>(m)];
-          mm.delivered_cycle =
-              done + static_cast<std::uint64_t>(params_.pipeline_cycles) * hops;
-          mm.delivered = true;
-          --undelivered_;
-          injected_flits_ += nflits;
-          ejected_flits_ += nflits;
-          link_flits_ += nflits * hops;
-          ffwd_flits_ += nflits;
-          ++ffwd_messages_;
-          st.pending.pop_front();
-          if (st.pending.empty()) clear_bit(inject_mask_, h.node);
-          cycle_ = done;
-          continue;
-        }
-      }
-    }
+    if (in_flight_flits_ == 0 && try_empty_advance(max_cycles)) continue;
     step();
   }
 }
@@ -432,6 +461,12 @@ void FlitNetwork::dump_counters(obs::Registry& reg) const {
       .set(static_cast<std::int64_t>(ffwd_flits_));
   reg.counter("mesh.flit.router_visits")
       .set(static_cast<std::int64_t>(router_visits_));
+  reg.counter("mesh.flit.shard.boundary_flits")
+      .set(static_cast<std::int64_t>(boundary_flits_));
+  reg.counter("mesh.flit.shard.barrier_waits")
+      .set(static_cast<std::int64_t>(barrier_waits_));
+  reg.counter("mesh.flit.shard.windows")
+      .set(static_cast<std::int64_t>(windows_));
 }
 
 sim::Time FlitNetwork::cycle_time() const {

@@ -40,10 +40,24 @@
 // compiled in as a cross-check mode: tests assert the fast path yields
 // byte-identical delivered_cycle, link/injected/ejected flit counters,
 // and final cycle on every configuration (tests/flit_test.cpp).
+//
+// Parallel mode (docs/MODEL.md §11): set_threads(T > 1) makes run()
+// partition the mesh into spatially contiguous row bands, one shard
+// per band, stepped by a pipeline of worker threads under conservative
+// lookahead synchronization. Flits crossing a band boundary travel
+// through per-edge SPSC handoff rings; downstream buffer occupancy is
+// mirrored by per-edge sent/consumed credit counters. The schedule is
+// constructed so every cross-band read observes exactly the value the
+// sequential id-order walk would have produced, so results — message
+// delivery cycles, link/injected/ejected totals, final cycle — are
+// byte-identical at any thread count. Scheduling diagnostics
+// (skipped/fast-forwarded/visit/shard counters) are deterministic for
+// a fixed thread count but legitimately differ across thread counts.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <type_traits>
 #include <vector>
@@ -88,6 +102,9 @@ struct FlitMessage {
 class FlitNetwork {
  public:
   FlitNetwork(Mesh2D mesh, FlitParams params);
+  ~FlitNetwork();
+  FlitNetwork(FlitNetwork&&) = delete;
+  FlitNetwork& operator=(FlitNetwork&&) = delete;
 
   /// Queue a message for injection at its source from `inject_cycle` on.
   /// Returns the message index.
@@ -114,6 +131,21 @@ class FlitNetwork {
   /// schedule); byte-identical state evolution to step().
   bool step_reference();
 
+  /// Worker threads for run(). 1 (default) keeps today's sequential
+  /// fast path with zero overhead. T > 1 shards the mesh into
+  /// min(2*T, height) row bands pipelined across T threads; results
+  /// stay byte-identical (docs/MODEL.md §11). Meshes too small to
+  /// shard (height < 4 or fewer than 64 routers) silently run
+  /// sequentially. Must not be called while run() is in progress.
+  void set_threads(int threads);
+  int threads() const { return threads_; }
+
+  /// Cycles per parallel burst between global reductions (bitmap
+  /// rebuild, counter roll-up, idle-skip checks). Larger windows
+  /// amortize fork-join cost; results are identical for any value >= 1.
+  void set_window(std::uint64_t cycles);
+  std::uint64_t window_cycles() const { return window_cycles_; }
+
   std::uint64_t cycle() const { return cycle_; }
   const std::vector<FlitMessage>& messages() const { return messages_; }
 
@@ -139,6 +171,17 @@ class FlitNetwork {
   /// Routers visited by the active-set schedule (full scan would be
   /// cycles * node_count).
   std::uint64_t router_visits() const { return router_visits_; }
+
+  // Parallel-scheduler counters (all zero when running sequentially).
+  // Like the fast-path counters above, these are schedule diagnostics:
+  // deterministic for a fixed thread count, but not comparable across
+  // thread counts.
+  /// Flits handed across a shard boundary through an SPSC edge ring.
+  std::uint64_t boundary_flits() const { return boundary_flits_; }
+  /// Futex parks taken while a shard waited on a neighbour's progress.
+  std::uint64_t barrier_waits() const { return barrier_waits_; }
+  /// Parallel burst windows executed by run().
+  std::uint64_t parallel_windows() const { return windows_; }
 
   /// Snapshot all counters into an observability registry under the
   /// "mesh.link.*" / "mesh.flit.*" names (docs/METRICS.md catalog).
@@ -214,6 +257,22 @@ class FlitNetwork {
   void phase2_router(NodeId n, bool& moved);
   void phase3_apply();
 
+  // Shared empty-network shortcut used by both the sequential and the
+  // parallel run loops: when nothing is in flight, skip idle cycles
+  // and/or stream a lone worm in closed form. Returns true if it
+  // advanced state (caller should re-check the loop condition), false
+  // if the network must be stepped normally.
+  bool try_empty_advance(std::uint64_t max_cycles);
+
+  // --- Parallel scheduler (src/mesh/flit_parallel.cpp) ----------------
+  struct ParCtx;  // shards, edge rings, worker pool
+  struct ParCtxDeleter {
+    void operator()(ParCtx*) const;  // defined where ParCtx is complete
+  };
+  bool par_eligible() const;
+  void ensure_par_ctx();
+  void run_parallel(std::uint64_t max_cycles);
+
   // The pending injection horizon when the network is empty: earliest
   // eligible inject cycle, the (unique) node holding it, and the
   // earliest cycle any *other* message could start injecting.
@@ -269,6 +328,13 @@ class FlitNetwork {
   std::uint64_t ffwd_flits_ = 0;
   std::uint64_t ffwd_messages_ = 0;
   std::uint64_t router_visits_ = 0;
+
+  int threads_ = 1;
+  std::uint64_t window_cycles_ = 1024;
+  std::uint64_t boundary_flits_ = 0;
+  std::uint64_t barrier_waits_ = 0;
+  std::uint64_t windows_ = 0;
+  std::unique_ptr<ParCtx, ParCtxDeleter> par_;
 };
 
 }  // namespace hpccsim::mesh

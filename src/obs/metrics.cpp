@@ -68,12 +68,14 @@ std::string BenchMetrics::json() const {
   const double wall_s =
       static_cast<double>(monotonic_ns() - start_ns_) / 1e9;
   std::ostringstream os;
-  os << "{\"schema_version\":1,\"bench\":\"" << detail::json_escape(bench_)
+  os << "{\"schema_version\":2,\"bench\":\"" << detail::json_escape(bench_)
      << "\",\"config\":{";
   emit_pairs(os, config_);
   os << "},\"metrics\":{";
   emit_pairs(os, metrics_);
-  os << "},\"sim_time_s\":" << detail::json_double(sim_time_s_)
+  os << "}";
+  if (threads_ > 0) os << ",\"threads\":" << threads_;
+  os << ",\"sim_time_s\":" << detail::json_double(sim_time_s_)
      << ",\"wall_time_s\":" << detail::json_double(wall_s);
   if (!counters_json_.empty()) os << ",\"counters\":" << counters_json_;
   os << "}\n";

@@ -6,14 +6,18 @@
 // bench/baselines.json — see tools/check_metrics.py):
 //
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "bench": "fig1_linpack",
 //     "config":  {"machine": "delta", "n": "1000,...", "jobs": 1},
 //     "metrics": {"gflops_max": 12.9, "messages": 3400000},
+//     "threads": 4,               // v2, optional: simulator worker threads
 //     "sim_time_s": 813.2,        // deterministic: gated hard by CI
 //     "wall_time_s": 1.84,        // host-dependent: CI only warns
 //     "counters": {...}           // optional Registry dump
 //   }
+//
+// Schema history: v2 added the optional top-level "threads" field
+// (docs/METRICS.md); tools/check_metrics.py accepts v1 and v2.
 //
 // Keys inside config/metrics appear in insertion order; sim_time_s is
 // the sum of simulated seconds across the bench's sweep points, the
@@ -61,6 +65,10 @@ class BenchMetrics {
   void add_sim_time(sim::Time t) { sim_time_s_ += t.as_sec(); }
   double sim_time_s() const { return sim_time_s_; }
 
+  /// Record the simulator worker-thread count (top-level "threads",
+  /// schema v2). Unset (0) omits the field, matching v1 output shape.
+  void set_threads(int threads) { threads_ = threads; }
+
   /// Attach a full counter dump under "counters".
   void attach_counters(const Registry& registry);
 
@@ -75,6 +83,7 @@ class BenchMetrics {
   std::vector<std::pair<std::string, std::string>> config_;   // pre-encoded
   std::vector<std::pair<std::string, std::string>> metrics_;  // pre-encoded
   std::string counters_json_;
+  int threads_ = 0;
   double sim_time_s_ = 0.0;
   std::uint64_t start_ns_;  // host monotonic clock at construction
 };

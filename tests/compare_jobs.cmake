@@ -1,10 +1,23 @@
-# Determinism harness: run one sweep bench at --jobs 1 and --jobs 4 and
-# require byte-identical stdout (and, when the bench emits counters via
-# --json, byte-identical metrics modulo the host-dependent wall_time_s
-# field). Invoked by the `determinism`-labelled ctest entries:
+# Determinism harness: run one sweep bench twice along an axis and
+# require identical results.
+#
+#   AXIS=jobs (default): --jobs 1 vs --jobs 4. Byte-identical stdout,
+#     and (with CHECK_JSON) byte-identical --json metrics modulo the
+#     host-dependent wall_time_s field.
+#   AXIS=threads: --threads 1 vs --threads 4 (the flit network's
+#     sharded scheduler, docs/MODEL.md §11). stdout carries wall-clock
+#     columns, so only the --json metrics are compared, after
+#     normalizing host-dependent fields (wall/speedup metrics, the
+#     "threads" record) and the scheduling diagnostics that are
+#     deterministic per thread count but not across thread counts
+#     (mesh.flit.{cycles_skipped,ffwd_*,router_visits} and
+#     mesh.flit.shard.*). Everything else — sim_time_s, traffic
+#     counters, semantic metrics — must be byte-identical.
+#
+# Invoked by the `determinism`-labelled ctest entries:
 #
 #   cmake -DBENCH=<binary> -DARGS=<;-list> -DOUT=<scratch dir>
-#         [-DCHECK_JSON=1] -P compare_jobs.cmake
+#         [-DCHECK_JSON=1] [-DAXIS=jobs|threads] -P compare_jobs.cmake
 
 if(NOT DEFINED BENCH OR NOT DEFINED OUT)
   message(FATAL_ERROR "usage: cmake -DBENCH=... -DARGS=... -DOUT=... -P compare_jobs.cmake")
@@ -12,45 +25,73 @@ endif()
 if(NOT DEFINED ARGS)
   set(ARGS "")
 endif()
+if(NOT DEFINED AXIS)
+  set(AXIS "jobs")
+endif()
+if(AXIS STREQUAL "threads" AND NOT CHECK_JSON)
+  message(FATAL_ERROR "AXIS=threads requires CHECK_JSON (stdout has wall columns)")
+endif()
 
 get_filename_component(name "${BENCH}" NAME)
 file(MAKE_DIRECTORY "${OUT}")
 
-foreach(jobs 1 4)
-  set(cmd "${BENCH}" ${ARGS} --jobs ${jobs})
+foreach(v 1 4)
+  set(cmd "${BENCH}" ${ARGS} --${AXIS} ${v})
   if(CHECK_JSON)
-    list(APPEND cmd --json "${OUT}/${name}.j${jobs}.json")
+    list(APPEND cmd --json "${OUT}/${name}.${AXIS}${v}.json")
   endif()
   execute_process(
     COMMAND ${cmd}
-    OUTPUT_FILE "${OUT}/${name}.j${jobs}.txt"
+    OUTPUT_FILE "${OUT}/${name}.${AXIS}${v}.txt"
     RESULT_VARIABLE rc)
   if(NOT rc EQUAL 0)
-    message(FATAL_ERROR "${name} --jobs ${jobs} exited with ${rc}")
+    message(FATAL_ERROR "${name} --${AXIS} ${v} exited with ${rc}")
   endif()
 endforeach()
 
-execute_process(
-  COMMAND ${CMAKE_COMMAND} -E compare_files
-          "${OUT}/${name}.j1.txt" "${OUT}/${name}.j4.txt"
-  RESULT_VARIABLE diff)
-if(NOT diff EQUAL 0)
-  message(FATAL_ERROR
-    "${name}: stdout differs between --jobs 1 and --jobs 4 "
-    "(${OUT}/${name}.j1.txt vs .j4.txt)")
+if(AXIS STREQUAL "jobs")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${OUT}/${name}.jobs1.txt" "${OUT}/${name}.jobs4.txt"
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+      "${name}: stdout differs between --jobs 1 and --jobs 4 "
+      "(${OUT}/${name}.jobs1.txt vs .jobs4.txt)")
+  endif()
 endif()
 
 if(CHECK_JSON)
-  foreach(jobs 1 4)
-    file(READ "${OUT}/${name}.j${jobs}.json" content)
+  foreach(v 1 4)
+    file(READ "${OUT}/${name}.${AXIS}${v}.json" content)
     # wall_time_s is host time and legitimately differs between runs.
     string(REGEX REPLACE "\"wall_time_s\":[0-9.eE+-]+" "\"wall_time_s\":0"
            content "${content}")
-    set(json_j${jobs} "${content}")
+    if(AXIS STREQUAL "threads")
+      # Host-dependent wall/speedup metrics (key names may embed the
+      # thread count, e.g. wall_t4_s) and the recorded thread count.
+      string(REGEX REPLACE "\"wall_[a-zA-Z0-9_]*\":[0-9.eE+-]+" "\"wall\":0"
+             content "${content}")
+      string(REGEX REPLACE "\"speedup[a-zA-Z0-9_]*\":[0-9.eE+-]+"
+             "\"speedup\":0" content "${content}")
+      string(REGEX REPLACE "\"threads\":[0-9]+" "\"threads\":0"
+             content "${content}")
+      # Scheduling diagnostics: deterministic for a fixed thread count,
+      # legitimately different across thread counts (a parallel burst
+      # steps cycles the sequential scheduler skips or fast-forwards).
+      foreach(diag cycles_skipped ffwd_flits ffwd_messages router_visits)
+        string(REGEX REPLACE "\"mesh.flit.${diag}\":[0-9]+"
+               "\"mesh.flit.${diag}\":0" content "${content}")
+      endforeach()
+      string(REGEX REPLACE "\"mesh.flit.shard.[a-z_]+\":[0-9]+"
+             "\"mesh.flit.shard\":0" content "${content}")
+    endif()
+    set(json_v${v} "${content}")
   endforeach()
-  if(NOT json_j1 STREQUAL json_j4)
+  if(NOT json_v1 STREQUAL json_v4)
     message(FATAL_ERROR
       "${name}: --json output (incl. counter totals) differs between "
-      "--jobs 1 and --jobs 4")
+      "--${AXIS} 1 and --${AXIS} 4 "
+      "(${OUT}/${name}.${AXIS}1.json vs .${AXIS}4.json)")
   endif()
 endif()

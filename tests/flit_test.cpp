@@ -179,6 +179,153 @@ TEST(FlitEquivalenceTraffic, LockstepSingleCycles) {
               ref.messages()[i].delivered_cycle);
 }
 
+// ---------------------------------------- parallel shard scheduler --
+
+// The parallel oracle: run() sharded across `threads` workers must be
+// byte-identical to the sequential fast path (itself byte-identical to
+// the reference) on every semantic observable. Scheduling diagnostics
+// (skip/ffwd/visit/shard counters) are NOT compared: they describe the
+// schedule, which legitimately differs across thread counts.
+void expect_parallel_equivalent(const Mesh2D& mesh, const FlitParams& fp,
+                                const std::vector<Injection>& w, int threads,
+                                std::uint64_t window,
+                                const std::string& what) {
+  FlitNetwork seq(mesh, fp);
+  FlitNetwork par(mesh, fp);
+  fill(seq, w);
+  fill(par, w);
+  par.set_threads(threads);
+  if (window > 0) par.set_window(window);
+  seq.run();
+  par.run();
+  ASSERT_EQ(par.messages().size(), seq.messages().size()) << what;
+  for (std::size_t i = 0; i < par.messages().size(); ++i) {
+    ASSERT_TRUE(par.messages()[i].delivered) << what << " msg " << i;
+    ASSERT_EQ(par.messages()[i].delivered_cycle,
+              seq.messages()[i].delivered_cycle)
+        << what << " msg " << i;
+  }
+  EXPECT_EQ(par.link_flits(), seq.link_flits()) << what;
+  EXPECT_EQ(par.injected_flits(), seq.injected_flits()) << what;
+  EXPECT_EQ(par.ejected_flits(), seq.ejected_flits()) << what;
+  EXPECT_EQ(par.cycle(), seq.cycle()) << what;
+  EXPECT_EQ(par.in_flight_flits(), 0) << what;
+  EXPECT_EQ(par.undelivered(), 0) << what;
+  // The sequential run must never touch the shard machinery.
+  EXPECT_EQ(seq.parallel_windows(), 0u) << what;
+  EXPECT_EQ(seq.boundary_flits(), 0u) << what;
+}
+
+struct ParEquivCase {
+  int width, height;
+  RouteAlgo algo;
+  std::uint64_t gap_cycles;
+  int threads;
+};
+
+class FlitParallelEquivalence
+    : public ::testing::TestWithParam<ParEquivCase> {};
+
+TEST_P(FlitParallelEquivalence, MatchesSequentialFastPath) {
+  const ParEquivCase c = GetParam();
+  const Mesh2D mesh(c.width, c.height);
+  FlitParams fp;
+  fp.routing = c.algo;
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    const auto w =
+        random_workload(mesh, seed, 3 * mesh.node_count(), c.gap_cycles);
+    expect_parallel_equivalent(
+        mesh, fp, w, c.threads, 0,
+        std::to_string(c.width) + "x" + std::to_string(c.height) + " " +
+            route_algo_name(c.algo) + " gap=" + std::to_string(c.gap_cycles) +
+            " threads=" + std::to_string(c.threads) +
+            " seed=" + std::to_string(seed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAlgosLoadsThreads, FlitParallelEquivalence,
+    ::testing::Values(
+        // Saturating loads across the thread axis.
+        ParEquivCase{8, 8, RouteAlgo::XY, 0, 2},
+        ParEquivCase{8, 8, RouteAlgo::XY, 0, 4},
+        ParEquivCase{8, 8, RouteAlgo::XY, 0, 8},
+        ParEquivCase{8, 8, RouteAlgo::WestFirst, 0, 4},
+        // Wide-short mesh: minimum eligible height, uneven row bands.
+        ParEquivCase{16, 4, RouteAlgo::XY, 4, 4},
+        ParEquivCase{16, 4, RouteAlgo::WestFirst, 4, 8},
+        // Tall-narrow: maximum boundary traffic relative to area.
+        ParEquivCase{8, 16, RouteAlgo::XY, 10, 4},
+        // Sparse: idle skip and lone-worm fast-forward interleave with
+        // parallel bursts.
+        ParEquivCase{8, 8, RouteAlgo::XY, 1500, 4},
+        ParEquivCase{8, 8, RouteAlgo::WestFirst, 1500, 2}));
+
+// Tiny burst windows stress burst startup/drain: every few cycles the
+// shards re-mirror edge credits and re-derive bitmaps. Results must be
+// independent of the window size, down to window = 1.
+TEST(FlitParallel, WindowSizeDoesNotChangeResults) {
+  const Mesh2D mesh(8, 8);
+  const auto w = random_workload(mesh, 5, 192, 8);
+  for (const std::uint64_t window : {1u, 2u, 3u, 17u, 1024u}) {
+    expect_parallel_equivalent(mesh, FlitParams{}, w, 4, window,
+                               "window=" + std::to_string(window));
+  }
+}
+
+// threads=1 must take the sequential path outright: no shard counters,
+// no windows, identical results.
+TEST(FlitParallel, SingleThreadFallsBackToSequential) {
+  const Mesh2D mesh(8, 8);
+  const auto w = random_workload(mesh, 9, 192, 0);
+  FlitNetwork net(mesh, FlitParams{});
+  fill(net, w);
+  net.set_threads(1);
+  net.run();
+  EXPECT_EQ(net.parallel_windows(), 0u);
+  EXPECT_EQ(net.boundary_flits(), 0u);
+  EXPECT_EQ(net.barrier_waits(), 0u);
+  EXPECT_EQ(net.undelivered(), 0);
+}
+
+// Meshes too small to shard silently run sequentially even with
+// threads > 1 (still byte-identical, still zero shard counters).
+TEST(FlitParallel, SmallMeshFallsBackToSequential) {
+  const Mesh2D mesh(6, 6);  // 36 routers < eligibility floor
+  const auto w = random_workload(mesh, 4, 108, 0);
+  FlitNetwork net(mesh, FlitParams{});
+  FlitNetwork seq(mesh, FlitParams{});
+  fill(net, w);
+  fill(seq, w);
+  net.set_threads(8);
+  net.run();
+  seq.run();
+  EXPECT_EQ(net.parallel_windows(), 0u);
+  EXPECT_EQ(net.cycle(), seq.cycle());
+  EXPECT_EQ(net.link_flits(), seq.link_flits());
+}
+
+// A saturated eligible mesh must actually engage the shard scheduler
+// and report it through the observability registry.
+TEST(FlitParallel, ShardCountersEngageAndDump) {
+  const Mesh2D mesh(8, 8);
+  const auto w = random_workload(mesh, 21, 192, 0);
+  FlitNetwork net(mesh, FlitParams{});
+  fill(net, w);
+  net.set_threads(4);
+  net.run();
+  EXPECT_GT(net.parallel_windows(), 0u);
+  EXPECT_GT(net.boundary_flits(), 0u);
+  obs::Registry reg;
+  net.dump_counters(reg);
+  EXPECT_EQ(reg.value("mesh.flit.shard.boundary_flits"),
+            static_cast<std::int64_t>(net.boundary_flits()));
+  EXPECT_EQ(reg.value("mesh.flit.shard.barrier_waits"),
+            static_cast<std::int64_t>(net.barrier_waits()));
+  EXPECT_EQ(reg.value("mesh.flit.shard.windows"),
+            static_cast<std::int64_t>(net.parallel_windows()));
+}
+
 // ------------------------------------------- scheduling counters ----
 
 TEST(FlitFastPath, SparseTrafficEngagesSkipAndFastForward) {
@@ -270,6 +417,26 @@ TEST(FlitDiagnostics, MaxCyclesThrowReportsState)
     EXPECT_NE(what.find("cycle=3"), std::string::npos) << what;
     EXPECT_NE(what.find("in-flight flits="), std::string::npos) << what;
     EXPECT_NE(what.find("undelivered messages=2"), std::string::npos) << what;
+    // Sequential run: the diagnostics must say so.
+    EXPECT_NE(what.find("threads=1"), std::string::npos) << what;
+    EXPECT_NE(what.find("window="), std::string::npos) << what;
+  }
+}
+
+TEST(FlitDiagnostics, ParallelMaxCyclesThrowReportsThreadsAndWindow) {
+  FlitNetwork net(Mesh2D(8, 8), FlitParams{});
+  net.set_threads(4);
+  net.set_window(256);
+  net.inject(0, 63, 4096, 0);
+  net.inject(9, 54, 4096, 0);
+  try {
+    net.run(10);
+    FAIL() << "expected max_cycles overflow";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("exceeded max_cycles=10"), std::string::npos) << what;
+    EXPECT_NE(what.find("threads=4"), std::string::npos) << what;
+    EXPECT_NE(what.find("window=256"), std::string::npos) << what;
   }
 }
 

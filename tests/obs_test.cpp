@@ -130,7 +130,7 @@ TEST(BenchMetrics, SchemaFieldsAndOrdering) {
   bm.add_sim_time(sim::Time::sec(2.0));
   bm.add_sim_time(sim::Time::sec(1.5));
   const std::string json = bm.json();
-  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
   EXPECT_NE(json.find("\"bench\":\"unit_test\""), std::string::npos);
   EXPECT_NE(json.find("\"machine\":\"delta\""), std::string::npos);
   EXPECT_NE(json.find("\"n\":25000"), std::string::npos);
@@ -138,8 +138,16 @@ TEST(BenchMetrics, SchemaFieldsAndOrdering) {
   EXPECT_NE(json.find("\"wall_time_s\":"), std::string::npos);
   // Insertion order within config.
   EXPECT_LT(json.find("\"machine\""), json.find("\"n\""));
-  // Counters attach only when requested.
+  // Counters attach only when requested; ditto the v2 threads field.
   EXPECT_EQ(json.find("\"counters\""), std::string::npos);
+  EXPECT_EQ(json.find("\"threads\""), std::string::npos);
+
+  bm.set_threads(4);
+  const std::string threaded = bm.json();
+  EXPECT_NE(threaded.find("\"threads\":4"), std::string::npos);
+  // Placement: after metrics, before sim_time_s.
+  EXPECT_LT(threaded.find("\"gflops\""), threaded.find("\"threads\""));
+  EXPECT_LT(threaded.find("\"threads\""), threaded.find("\"sim_time_s\""));
 }
 
 TEST(BenchMetrics, WriteFileEmptyPathIsNoop) {

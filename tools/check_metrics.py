@@ -29,7 +29,9 @@ def load_metrics(metrics_dir: pathlib.Path) -> dict:
     for path in sorted(metrics_dir.glob("*.json")):
         with open(path) as fh:
             doc = json.load(fh)
-        if doc.get("schema_version") != 1:
+        # v2 added the optional top-level "threads" field; both versions
+        # carry the gated keys unchanged.
+        if doc.get("schema_version") not in (1, 2):
             sys.exit(f"FAIL {path}: unknown schema_version "
                      f"{doc.get('schema_version')!r}")
         current[doc["bench"]] = {

@@ -24,7 +24,8 @@ run fig3_consortium
 run fig4_mesh_traffic --messages 50
 run table1_funding
 run ablate_contention --messages 30
-run flit_throughput --messages 8
+run flit_throughput --messages 8 --threads 2
+run parallel_core --messages 6 --threads 1,2,4
 run ablate_collectives --nodes 64
 run ablate_network --n 2000
 run ablate_routing --width 6 --height 6
