@@ -1,0 +1,73 @@
+#include "grid/catalog.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace hpccsim::grid {
+
+const char* placement_name(Placement p) {
+  switch (p) {
+    case Placement::WidestPath: return "widest";
+    case Placement::LeastLoaded: return "least-loaded";
+  }
+  return "?";
+}
+
+Placement placement_from(std::string_view name) {
+  if (name == "widest") return Placement::WidestPath;
+  if (name == "least-loaded") return Placement::LeastLoaded;
+  throw std::invalid_argument("unknown placement policy: " +
+                              std::string(name));
+}
+
+DatasetId ReplicaCatalog::add_dataset(Bytes size, SiteId initial_replica) {
+  HPCCSIM_EXPECTS(size > 0);
+  Dataset d;
+  d.size = size;
+  d.replicas.push_back(initial_replica);
+  datasets_.push_back(std::move(d));
+  return static_cast<DatasetId>(datasets_.size() - 1);
+}
+
+bool ReplicaCatalog::has_replica(DatasetId d, SiteId s) const {
+  const auto& r = at(d).replicas;
+  return std::find(r.begin(), r.end(), s) != r.end();
+}
+
+void ReplicaCatalog::add_replica(DatasetId d, SiteId s) {
+  if (!has_replica(d, s))
+    datasets_[static_cast<std::size_t>(d)].replicas.push_back(s);
+}
+
+SiteId ReplicaCatalog::select_source(
+    DatasetId d, SiteId dst, Placement policy, wan::RouteTable& routes,
+    const std::vector<double>& egress_backlog_s) const {
+  SiteId best = -1;
+  double best_score = 0.0;  // meaning depends on the policy
+  for (const SiteId s : at(d).replicas) {
+    if (s == dst) continue;
+    const auto* route = routes.route(s, dst);
+    if (route == nullptr) continue;
+    double score = 0.0;
+    switch (policy) {
+      case Placement::WidestPath:
+        score = route->bottleneck_bps;  // larger is better
+        break;
+      case Placement::LeastLoaded:
+        // Less assigned sending time is better; negate so larger wins.
+        score = -egress_backlog_s.at(static_cast<std::size_t>(s));
+        break;
+    }
+    if (best == -1 || score > best_score ||
+        (score == best_score && s < best)) {
+      best = s;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace hpccsim::grid

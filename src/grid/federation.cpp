@@ -1,0 +1,68 @@
+#include "grid/federation.hpp"
+
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace hpccsim::grid {
+
+Federation::Federation(const FederationConfig& cfg) : regions_(cfg.regions) {
+  HPCCSIM_EXPECTS(cfg.regions >= 1);
+  HPCCSIM_EXPECTS(cfg.leaves_per_region >= 1);
+  using wan::LinkType;
+
+  // Backbone: one HIPPI/SONET hub per region, joined in a ring.
+  std::vector<SiteId> hubs;
+  for (std::int32_t r = 0; r < cfg.regions; ++r)
+    hubs.push_back(wan_.add_site("hub-" + std::to_string(r)));
+  for (std::int32_t r = 0; r + 1 < cfg.regions; ++r)
+    wan_.add_link(hubs[r], hubs[r + 1], LinkType::HippiSonet,
+                  sim::Time::ms(8));
+  if (cfg.regions >= 3)  // close the ring (a 2-region ring would double up)
+    wan_.add_link(hubs[cfg.regions - 1], hubs[0], LinkType::HippiSonet,
+                  sim::Time::ms(8));
+
+  // One archive center per region, on the hub at HIPPI rates.
+  for (std::int32_t r = 0; r < cfg.regions; ++r) {
+    const SiteId s = wan_.add_site("archive-" + std::to_string(r));
+    wan_.add_link(hubs[r], s, LinkType::HippiSonet, sim::Time::ms(2));
+    GridSite g;
+    g.site = s;
+    g.region = r;
+    g.is_archive = true;
+    g.storage_capacity = Bytes{1} << 50;  // effectively unbounded
+    g.access_bps =
+        wan::link_bandwidth(LinkType::HippiSonet).bytes_per_sec();
+    archives_.push_back(g);
+  }
+
+  // Campus leaves: two T3 sites for every T1 site (the 1992 service mix
+  // a funded consortium would run; no 56k tails on a data grid).
+  for (std::int32_t r = 0; r < cfg.regions; ++r) {
+    for (std::int32_t i = 0; i < cfg.leaves_per_region; ++i) {
+      const LinkType t = (i % 3 == 2) ? LinkType::T1 : LinkType::T3;
+      const SiteId s = wan_.add_site("leaf-" + std::to_string(r) + "-" +
+                                     std::to_string(i));
+      wan_.add_link(hubs[r], s, t, sim::Time::ms(5));
+      GridSite g;
+      g.site = s;
+      g.region = r;
+      g.is_archive = false;
+      g.storage_capacity = cfg.leaf_storage;
+      g.access_bps = wan::link_bandwidth(t).bytes_per_sec();
+      leaves_.push_back(g);
+    }
+  }
+
+  by_site_.assign(static_cast<std::size_t>(wan_.site_count()), nullptr);
+  for (const GridSite& g : archives_)
+    by_site_[static_cast<std::size_t>(g.site)] = &g;
+  for (const GridSite& g : leaves_)
+    by_site_[static_cast<std::size_t>(g.site)] = &g;
+}
+
+const GridSite* Federation::site_info(SiteId s) const {
+  return by_site_.at(static_cast<std::size_t>(s));
+}
+
+}  // namespace hpccsim::grid

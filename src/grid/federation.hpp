@@ -1,0 +1,65 @@
+// Grid data-federation topology: the NREN consortium scaled to a
+// multi-region science grid.
+//
+// The paper's program plan funds a National Research and Education
+// Network whose point is exactly this workload: many campuses pulling
+// shared datasets off a few archive centers. The federation models that
+// as R regions, each with a HIPPI/SONET hub on a national backbone
+// ring, one archive center per region (the replica sources of last
+// resort), and a fan of campus leaves on T3/T1 access links. Leaves
+// carry finite replica storage (a cache, filled as transfers land);
+// archives are effectively unbounded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+#include "wan/wan.hpp"
+
+namespace hpccsim::grid {
+
+using wan::SiteId;
+
+struct GridSite {
+  SiteId site = 0;
+  std::int32_t region = 0;
+  bool is_archive = false;
+  Bytes storage_capacity = 0;  ///< replica storage (cache for leaves)
+  double access_bps = 0.0;     ///< bandwidth of the site's access link
+};
+
+struct FederationConfig {
+  std::int32_t regions = 4;
+  std::int32_t leaves_per_region = 6;
+  /// Replica cache per leaf; once full, new replicas are rejected.
+  Bytes leaf_storage = Bytes{16} << 30;  // 16 GiB
+};
+
+class Federation {
+ public:
+  explicit Federation(const FederationConfig& cfg);
+
+  const wan::Wan& wan() const { return wan_; }
+  std::int32_t regions() const { return regions_; }
+
+  /// Campus sites, the destinations of every grid request.
+  const std::vector<GridSite>& leaves() const { return leaves_; }
+  /// One archive center per region, the initial replica holders.
+  const std::vector<GridSite>& archives() const { return archives_; }
+  SiteId archive_of(std::int32_t region) const {
+    return archives_.at(static_cast<std::size_t>(region)).site;
+  }
+
+  /// Per-site metadata (leaves and archives; hubs have none).
+  /// Returns nullptr for backbone hubs.
+  const GridSite* site_info(SiteId s) const;
+
+ private:
+  wan::Wan wan_;
+  std::int32_t regions_ = 0;
+  std::vector<GridSite> leaves_, archives_;
+  std::vector<const GridSite*> by_site_;  // index by SiteId
+};
+
+}  // namespace hpccsim::grid

@@ -1,0 +1,84 @@
+// Seeded synthetic grid workload: a diurnal, Zipf-skewed request stream.
+//
+// Requests arrive by a nonhomogeneous Poisson process whose rate swells
+// around a daily rush hour (every campus pulls results after the
+// morning runs finish); destinations are leaves weighted by access
+// bandwidth (bigger pipes serve bigger user bases); datasets follow a
+// Zipf popularity law with log-normal sizes.
+//
+// Determinism: every quantity draws from its own named RNG substream
+// ("grid.arrival", "grid.site", "grid.dataset", "grid.size",
+// "grid.place"), so streams never perturb each other and the sequence
+// is a pure function of (config, seed) — byte-identical across runs,
+// platforms, and job counts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/time.hpp"
+#include "grid/catalog.hpp"
+#include "grid/federation.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace hpccsim::grid {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 1992;
+  double days = 1.0;                  ///< stream horizon
+  double requests_per_day = 800000.0; ///< daily mean (pre-rush shape)
+  double rush_hour = 14.0;            ///< time-of-day of the daily peak
+  double rush_width_h = 2.0;          ///< Gaussian width of the rush
+  double rush_amplitude = 1.2;        ///< peak rate = base*(1+amplitude)
+  std::int32_t dataset_count = 40000;
+  double zipf_s = 0.6;                ///< popularity skew exponent
+  double median_bytes = 6e6;          ///< log-normal dataset size median
+  double sigma_log = 1.0;             ///< log-normal shape
+};
+
+struct Request {
+  sim::Time at;
+  SiteId dst = 0;
+  DatasetId dataset = -1;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadConfig& cfg, const Federation& fed);
+
+  /// Next request in time order; nullopt once past the horizon.
+  std::optional<Request> next();
+
+  /// Instantaneous arrival rate (requests/s) at absolute time t_s.
+  double rate_at(double t_s) const;
+
+  Bytes dataset_bytes(DatasetId d) const {
+    return sizes_.at(static_cast<std::size_t>(d));
+  }
+  /// Region whose archive holds the dataset's initial replica.
+  std::int32_t initial_region(DatasetId d) const {
+    return regions_of_.at(static_cast<std::size_t>(d));
+  }
+  std::int32_t dataset_count() const {
+    return static_cast<std::int32_t>(sizes_.size());
+  }
+
+ private:
+  const Federation* fed_;
+  double horizon_s_ = 0.0;
+  double base_rate_ = 0.0;  // requests/s before the diurnal shape
+  double peak_rate_ = 0.0;  // thinning envelope
+  double rush_hour_s_ = 0.0, rush_width_s_ = 0.0, amplitude_ = 0.0;
+
+  std::vector<Bytes> sizes_;             // per dataset
+  std::vector<std::int32_t> regions_of_; // initial archive region
+  std::vector<double> dataset_cdf_;      // Zipf popularity
+  std::vector<double> leaf_cdf_;         // access-bandwidth weights
+
+  Rng arrival_, site_, dataset_;
+  double t_s_ = 0.0;
+};
+
+}  // namespace hpccsim::grid

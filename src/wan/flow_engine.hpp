@@ -1,0 +1,164 @@
+// Incremental event-driven fluid flow engine.
+//
+// The prototype fluid model (FlowSimulator::run_reference) recomputes
+// *every* flow's max-min rate at *every* arrival/completion — O(F·L)
+// per event, quadratic overall, unusable past ~10k concurrent flows.
+// This engine is the scalable rebuild behind the same fluid semantics:
+//
+//  - **Completion-time heap.** Pending completions live in a
+//    `sim::detail::BasicEventQueue<36>` — the engine's bucketed
+//    two-tier queue discipline (core/event_queue.hpp) instantiated
+//    with ~69 ms buckets so seconds-apart WAN completions land in the
+//    O(1) ring. Rate changes *reschedule* a flow by bumping its
+//    generation counter; stale heap entries are skipped on pop.
+//  - **Link → active-flow index.** Each link keeps the list of flows
+//    crossing it (swap-remove, positions mirrored per flow), so an
+//    event can reach exactly the flows it may affect.
+//  - **Saturation-gated ripple recompute.** An arrival/completion
+//    re-rates only the affected set: seeded from the trigger flow's
+//    links, expanded through *saturated* links only (an unsaturated
+//    link imposes no max-min constraint, so rate changes cannot
+//    propagate across it), until a fixpoint. Per-event cost is
+//    proportional to the affected neighbourhood, not the flow count.
+//  - **Preallocated SoA slots.** Flow state is struct-of-arrays,
+//    recycled through a free list; per-slot vectors keep their
+//    capacity, so steady state allocates nothing.
+//
+// Rates follow the same progressive water-filling as
+// FlowSimulator::fair_rates, with the same pinned tie-break (ascending
+// link index; see docs/MODEL.md §12), restricted to the affected set
+// against residual capacities. tests/wan_test.cpp cross-checks the
+// engine against the retained full-recompute reference on randomized
+// scenarios.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/event_queue.hpp"
+#include "core/time.hpp"
+#include "util/units.hpp"
+#include "wan/model.hpp"
+#include "wan/wan.hpp"
+
+namespace hpccsim::wan {
+
+class FlowEngine {
+ public:
+  using FlowId = std::int32_t;
+
+  /// Everything a consumer needs about a finished flow, by value (the
+  /// slot may be recycled by the time the callback runs).
+  struct Completion {
+    FlowId id = -1;
+    SiteId src = 0;
+    SiteId dst = 0;
+    Bytes bytes = 0;
+    sim::Time start;
+    sim::Time finish;
+    double bottleneck_bps = 0.0;  ///< idle-network rate of the route
+    std::uint64_t tag = 0;        ///< caller's tag from start()
+  };
+
+  struct Stats {
+    std::int64_t started = 0;
+    std::int64_t completed = 0;
+    std::int64_t recomputes = 0;     ///< restricted water-fill passes
+    std::int64_t rate_updates = 0;   ///< per-flow rate changes applied
+    std::int64_t stale_events = 0;   ///< superseded heap entries skipped
+    std::int64_t active_peak = 0;    ///< max concurrent flows
+  };
+
+  explicit FlowEngine(RouteTable& routes);
+
+  sim::Time now() const { return sim::Time::ps(now_ps_); }
+  std::int32_t active() const { return active_count_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Start a flow at the current time, routed on its cached widest
+  /// path. Throws std::invalid_argument if src and dst are
+  /// disconnected; ContractError on bytes == 0 or src == dst.
+  FlowId start(SiteId src, SiteId dst, Bytes bytes, std::uint64_t tag = 0);
+
+  /// Current max-min rate of an active flow (bytes/s).
+  double rate_bps(FlowId f) const { return rate_[f]; }
+
+  using CompletionFn = std::function<void(const Completion&)>;
+
+  /// Advance to `t`, delivering every completion with finish <= t in
+  /// (time, schedule-order) order. The callback may call start().
+  void run_until(sim::Time t, const CompletionFn& on_complete);
+
+  /// Drain every active flow to completion; now() ends at the last
+  /// completion time.
+  void run_to_completion(const CompletionFn& on_complete);
+
+ private:
+  // ~69 ms buckets: the 1024-bucket ring covers ~70 s of lookahead.
+  using Heap = sim::detail::BasicEventQueue<36>;
+
+  struct LinkEntry {
+    FlowId flow;
+    std::int32_t hop;  ///< index into the flow's route links
+  };
+
+  static std::uintptr_t payload(FlowId f, std::uint32_t gen) {
+    return (static_cast<std::uintptr_t>(gen) << 32) |
+           static_cast<std::uint32_t>(f);
+  }
+
+  FlowId alloc_slot();
+  void unlink(FlowId f);
+  void schedule(FlowId f);
+  void sync_remaining(FlowId f);
+  bool saturated(std::int32_t l) const {
+    return rate_sum_[l] >= cap_[l] * (1.0 - 1e-6);
+  }
+  void bump_epoch();
+  bool add_to_set(FlowId f);
+  bool add_link_flows(std::int32_t l, FlowId except);
+  void recompute();
+  void process(std::uint64_t until_ps, const CompletionFn& on_complete);
+
+  RouteTable* routes_;
+
+  // Per-flow slot storage (SoA; slots recycled through free_).
+  std::vector<SiteId> src_, dst_;
+  std::vector<Bytes> bytes_;
+  std::vector<double> remaining_;             // bytes left, as of synced_ps_
+  std::vector<double> rate_;                  // current max-min rate, B/s
+  std::vector<std::uint64_t> start_ps_, synced_ps_;
+  std::vector<std::uint32_t> gen_;            // invalidates stale heap entries
+  std::vector<std::uint64_t> tag_;
+  std::vector<const RouteTable::Route*> route_;
+  std::vector<std::vector<std::int32_t>> link_pos_;  // position per hop
+  std::vector<std::uint8_t> has_event_;  // flow has a live heap entry
+  std::vector<FlowId> free_;
+
+  // Per-link state.
+  std::vector<std::vector<LinkEntry>> link_flows_;
+  std::vector<double> cap_;       // bytes/s
+  std::vector<double> rate_sum_;  // sum of active rates on the link
+
+  // Recompute scratch (epoch-stamped membership; zero steady-state
+  // allocation once warm).
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> flow_mark_, link_mark_;
+  std::vector<FlowId> set_;              // affected set, insertion order
+  std::vector<std::int32_t> mlinks_;     // member links
+  std::vector<double> new_rate_;         // per slot
+  std::vector<double> residual_;         // per link
+  std::vector<std::int32_t> users_;      // per link
+  std::vector<std::uint8_t> frozen_;     // per slot
+  std::vector<FlowId> changed_;
+  std::vector<std::int32_t> dirty_links_;  // saturated before a change
+
+  Heap heap_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t now_ps_ = 0;
+  std::int32_t active_count_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hpccsim::wan

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "util/assert.hpp"
+#include "wan/flow_engine.hpp"
+#include "wan/model.hpp"
 
 namespace hpccsim::wan {
 
@@ -12,27 +14,32 @@ FlowSimulator::FlowSimulator(const Wan& wan) : wan_(&wan) {}
 
 std::size_t FlowSimulator::add_flow(SiteId src, SiteId dst, Bytes bytes,
                                     sim::Time start) {
+  HPCCSIM_EXPECTS(!ran_);  // single-shot: no late arrivals after run()
   HPCCSIM_EXPECTS(bytes > 0);
   HPCCSIM_EXPECTS(src != dst);
   const auto path = wan_->widest_path(src, dst);
   if (!path) throw std::invalid_argument("flow endpoints are disconnected");
   Route route;
-  for (std::size_t i = 0; i + 1 < path->size(); ++i)
-    route.links.push_back(wan_->link_index((*path)[i], (*path)[i + 1]));
+  for (const std::size_t l : wan_->path_links(*path))
+    route.links.push_back(l);
   flows_.push_back(Flow{src, dst, bytes, start, {}, false, 0.0});
   routes_.push_back(std::move(route));
   return flows_.size() - 1;
 }
 
 std::vector<double> FlowSimulator::fair_rates(
-    const std::vector<std::size_t>& active) const {
+    const std::vector<std::size_t>& active,
+    std::vector<std::size_t>* bottleneck_order) const {
   // Progressive water-filling: repeatedly find the most-constrained link
   // (smallest equal share among its unfrozen flows), freeze those flows
-  // at that share, subtract, repeat.
+  // at that share, subtract, repeat. Ties on the smallest share resolve
+  // to the lowest link index (the strict `<` below scans links in
+  // ascending index order) — see the header for why the order is pinned.
   std::vector<double> rate(flows_.size(), 0.0);
   std::vector<double> cap(wan_->links().size());
   for (std::size_t l = 0; l < cap.size(); ++l)
     cap[l] = link_bandwidth(wan_->links()[l].type).bytes_per_sec();
+  if (bottleneck_order) bottleneck_order->clear();
 
   std::vector<bool> frozen(flows_.size(), true);
   for (const std::size_t f : active) frozen[f] = false;
@@ -55,6 +62,7 @@ std::vector<double> FlowSimulator::fair_rates(
       }
     }
     if (best_link == cap.size()) break;  // everyone frozen
+    if (bottleneck_order) bottleneck_order->push_back(best_link);
 
     // Freeze the bottleneck link's flows at the fair share.
     for (const std::size_t f : active) {
@@ -69,7 +77,47 @@ std::vector<double> FlowSimulator::fair_rates(
   return rate;
 }
 
+void FlowSimulator::finish_flow(std::size_t f, sim::Time finish) {
+  Flow& fl = flows_[f];
+  fl.done = true;
+  fl.finish = finish;
+  // Idle-network fluid duration: bytes / route bottleneck.
+  double bottleneck = std::numeric_limits<double>::infinity();
+  for (const std::size_t l : routes_[f].links)
+    bottleneck = std::min(
+        bottleneck, link_bandwidth(wan_->links()[l].type).bytes_per_sec());
+  const double idle_s = static_cast<double>(fl.bytes) / bottleneck;
+  fl.slowdown = (fl.finish - fl.start).as_sec() / idle_s;
+}
+
 void FlowSimulator::run() {
+  HPCCSIM_EXPECTS(!ran_);
+  ran_ = true;
+
+  // Feed flows in (start, index) order; the engine delivers completions
+  // as simulated time advances past each arrival.
+  std::vector<std::size_t> order(flows_.size());
+  for (std::size_t f = 0; f < order.size(); ++f) order[f] = f;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return flows_[a].start < flows_[b].start;
+                   });
+
+  RouteTable routes(*wan_);
+  FlowEngine engine(routes);
+  const auto on_complete = [this](const FlowEngine::Completion& c) {
+    finish_flow(static_cast<std::size_t>(c.tag), c.finish);
+  };
+  for (const std::size_t f : order) {
+    engine.run_until(flows_[f].start, on_complete);
+    engine.start(flows_[f].src, flows_[f].dst, flows_[f].bytes, f);
+  }
+  engine.run_to_completion(on_complete);
+}
+
+void FlowSimulator::run_reference() {
+  HPCCSIM_EXPECTS(!ran_);
+  ran_ = true;
   const double kEps = 1e-6;  // bytes
   std::vector<double> remaining(flows_.size());
   for (std::size_t f = 0; f < flows_.size(); ++f)
@@ -114,17 +162,7 @@ void FlowSimulator::run() {
     std::vector<std::size_t> still;
     for (const std::size_t f : active) {
       if (remaining[f] <= kEps) {
-        Flow& fl = flows_[f];
-        fl.done = true;
-        fl.finish = sim::Time::sec(now_s);
-        // Idle-network fluid duration: bytes / route bottleneck.
-        double bottleneck = std::numeric_limits<double>::infinity();
-        for (const std::size_t l : routes_[f].links)
-          bottleneck = std::min(
-              bottleneck,
-              link_bandwidth(wan_->links()[l].type).bytes_per_sec());
-        const double idle_s = static_cast<double>(fl.bytes) / bottleneck;
-        fl.slowdown = (fl.finish - fl.start).as_sec() / idle_s;
+        finish_flow(f, sim::Time::sec(now_s));
       } else {
         still.push_back(f);
       }

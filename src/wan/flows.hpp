@@ -6,6 +6,11 @@
 // links by max-min fairness (the steady state of well-behaved transport
 // protocols), recomputed at every flow arrival/completion — a classic
 // fluid-model network simulation.
+//
+// run() executes on the incremental FlowEngine (wan/flow_engine.hpp);
+// run_reference() keeps the original full-recompute loop as the
+// slow-but-obviously-correct oracle that the randomized property suite
+// in tests/wan_test.cpp cross-checks the engine against.
 #pragma once
 
 #include <cstdint>
@@ -36,28 +41,49 @@ class FlowSimulator {
   explicit FlowSimulator(const Wan& wan);
 
   /// Register a flow (before run()); routed on its widest path.
-  /// Returns the flow index. Throws if src and dst are disconnected.
+  /// Returns the flow index. Throws std::invalid_argument if src and
+  /// dst are disconnected, and ContractError if called after run() —
+  /// the simulator is single-shot.
   std::size_t add_flow(SiteId src, SiteId dst, Bytes bytes,
                        sim::Time start = sim::Time::zero());
 
-  /// Run the fluid simulation to completion of all flows.
+  /// Run the fluid simulation to completion of all flows, on the
+  /// incremental FlowEngine. Single-shot: a second run() (or a later
+  /// add_flow()) throws ContractError.
   void run();
+
+  /// The original O(flows × links)-per-event reference loop, kept as
+  /// the oracle for the engine. Same single-shot contract as run().
+  void run_reference();
 
   const std::vector<Flow>& flows() const { return flows_; }
 
   /// Max-min fair rates (bytes/s per flow) for a hypothetical set of
   /// simultaneously active flows — exposed for testing the allocator.
+  ///
+  /// Tie-break contract: when several links offer the same smallest
+  /// fair share, the lowest-indexed link (registration order in
+  /// Wan::add_link) is frozen first. The max-min *allocation* is
+  /// unique regardless, but the pinned order fixes the floating-point
+  /// evaluation sequence, so rates are bit-stable across runs and
+  /// match FlowEngine's restricted water-fill exactly. If
+  /// `bottleneck_order` is non-null it receives the link indices in
+  /// the order they were frozen.
   std::vector<double> fair_rates(
-      const std::vector<std::size_t>& active) const;
+      const std::vector<std::size_t>& active,
+      std::vector<std::size_t>* bottleneck_order = nullptr) const;
 
  private:
   struct Route {
     std::vector<std::size_t> links;  // indices into wan_->links()
   };
 
+  void finish_flow(std::size_t f, sim::Time finish);
+
   const Wan* wan_;
   std::vector<Flow> flows_;
   std::vector<Route> routes_;
+  bool ran_ = false;
 };
 
 }  // namespace hpccsim::wan

@@ -1,0 +1,131 @@
+// WanModel: the common interface behind the two WAN transfer backends.
+//
+// The store-and-forward packet model (`Wan::transfer`) and the fluid
+// flow-level model (src/wan/flow_engine.hpp) answer the same question —
+// how long does a transfer take? — at different fidelity/scale points.
+// This interface lets scenario code (bench/grid) pick a backend while
+// sharing the topology (`Wan`), the routing (`RouteTable`, a widest-path
+// route cache), and the transfer accounting (`WanModelStats`).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/time.hpp"
+#include "util/units.hpp"
+#include "wan/wan.hpp"
+
+namespace hpccsim::obs {
+class Registry;
+}
+
+namespace hpccsim::wan {
+
+/// Memoized widest-path routing over a fixed topology. Routes are
+/// computed lazily per (src, dst) pair and never invalidated (the Wan
+/// is immutable once simulation starts), so a million transfers between
+/// a few dozen sites pay for a few dozen Dijkstra runs, not a million.
+class RouteTable {
+ public:
+  explicit RouteTable(const Wan& wan);
+
+  struct Route {
+    std::vector<SiteId> sites;        ///< src first, dst last
+    std::vector<std::int32_t> links;  ///< indices into wan().links()
+    double bottleneck_bps = 0.0;      ///< slowest link on the route
+  };
+
+  /// Cached widest path from src to dst; nullptr if disconnected.
+  /// Pointers stay valid for the table's lifetime.
+  const Route* route(SiteId src, SiteId dst);
+
+  const Wan& wan() const { return *wan_; }
+
+ private:
+  enum class State : std::uint8_t { Unknown, Routed, Disconnected };
+  const Wan* wan_;
+  std::vector<State> state_;                     // site_count^2
+  std::vector<std::unique_ptr<Route>> routes_;   // site_count^2
+};
+
+/// One transfer to simulate: `start` is the request time.
+struct TransferRequest {
+  SiteId src = 0;
+  SiteId dst = 0;
+  Bytes bytes = 0;
+  sim::Time start;
+};
+
+struct TransferOutcome {
+  bool ok = false;       ///< false: endpoints disconnected
+  sim::Time finish;      ///< absolute completion time
+  double slowdown = 0.0; ///< duration / idle-network duration (>= 1)
+};
+
+/// Cumulative accounting shared by every backend; exported to the obs
+/// registry under `wan.*` by export_counters().
+struct WanModelStats {
+  std::int64_t transfers = 0;
+  std::int64_t failed = 0;  ///< disconnected endpoint requests
+  Bytes bytes = 0;
+};
+
+class WanModel {
+ public:
+  explicit WanModel(const Wan& wan) : routes_(wan) {}
+  virtual ~WanModel() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Duration of one transfer on an otherwise idle network.
+  virtual std::optional<sim::Time> idle_transfer(SiteId src, SiteId dst,
+                                                 Bytes bytes) = 0;
+
+  /// Simulate a batch of concurrent transfers. Outcomes are positional.
+  virtual std::vector<TransferOutcome> simulate(
+      const std::vector<TransferRequest>& requests) = 0;
+
+  const Wan& wan() const { return routes_.wan(); }
+  RouteTable& routes() { return routes_; }
+  const WanModelStats& stats() const { return stats_; }
+  void export_counters(obs::Registry& reg) const;
+
+ protected:
+  RouteTable routes_;
+  WanModelStats stats_;
+};
+
+/// Store-and-forward packet backend: each transfer is timed in isolation
+/// with `Wan::transfer` (per-hop serialization + propagation). Batch
+/// transfers do not contend — the 1992-NOC view of the network.
+class PacketWanModel final : public WanModel {
+ public:
+  explicit PacketWanModel(const Wan& wan, Bytes packet_bytes = 1500)
+      : WanModel(wan), packet_bytes_(packet_bytes) {}
+
+  const char* name() const override { return "packet"; }
+  std::optional<sim::Time> idle_transfer(SiteId src, SiteId dst,
+                                         Bytes bytes) override;
+  std::vector<TransferOutcome> simulate(
+      const std::vector<TransferRequest>& requests) override;
+
+ private:
+  Bytes packet_bytes_;
+};
+
+/// Fluid flow-level backend: batch transfers share links by max-min
+/// fairness through the incremental FlowEngine.
+class FluidWanModel final : public WanModel {
+ public:
+  explicit FluidWanModel(const Wan& wan) : WanModel(wan) {}
+
+  const char* name() const override { return "fluid"; }
+  std::optional<sim::Time> idle_transfer(SiteId src, SiteId dst,
+                                         Bytes bytes) override;
+  std::vector<TransferOutcome> simulate(
+      const std::vector<TransferRequest>& requests) override;
+};
+
+}  // namespace hpccsim::wan

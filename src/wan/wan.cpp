@@ -65,6 +65,15 @@ std::size_t Wan::link_index(SiteId a, SiteId b) const {
   throw std::logic_error("no link between sites");
 }
 
+std::vector<std::size_t> Wan::path_links(
+    const std::vector<SiteId>& path) const {
+  std::vector<std::size_t> out;
+  out.reserve(path.empty() ? 0 : path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    out.push_back(link_index(path[i], path[i + 1]));
+  return out;
+}
+
 std::optional<std::vector<SiteId>> Wan::widest_path(SiteId src,
                                                     SiteId dst) const {
   HPCCSIM_EXPECTS(src >= 0 && src < site_count());

@@ -91,6 +91,9 @@ class Wan {
   /// throws if the sites are not directly connected.
   std::size_t link_index(SiteId a, SiteId b) const;
 
+  /// The link indices along a site path (size path.size()-1).
+  std::vector<std::size_t> path_links(const std::vector<SiteId>& path) const;
+
  private:
   struct Edge {
     SiteId to;

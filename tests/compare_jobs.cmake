@@ -64,18 +64,19 @@ endif()
 if(CHECK_JSON)
   foreach(v 1 4)
     file(READ "${OUT}/${name}.${AXIS}${v}.json" content)
-    # wall_time_s is host time and legitimately differs between runs.
+    # wall_time_s is host time and legitimately differs between runs;
+    # the recorded parallelism ("threads") is the compared axis itself.
     string(REGEX REPLACE "\"wall_time_s\":[0-9.eE+-]+" "\"wall_time_s\":0"
+           content "${content}")
+    string(REGEX REPLACE "\"threads\":[0-9]+" "\"threads\":0"
            content "${content}")
     if(AXIS STREQUAL "threads")
       # Host-dependent wall/speedup metrics (key names may embed the
-      # thread count, e.g. wall_t4_s) and the recorded thread count.
+      # thread count, e.g. wall_t4_s).
       string(REGEX REPLACE "\"wall_[a-zA-Z0-9_]*\":[0-9.eE+-]+" "\"wall\":0"
              content "${content}")
       string(REGEX REPLACE "\"speedup[a-zA-Z0-9_]*\":[0-9.eE+-]+"
              "\"speedup\":0" content "${content}")
-      string(REGEX REPLACE "\"threads\":[0-9]+" "\"threads\":0"
-             content "${content}")
       # Scheduling diagnostics: deterministic for a fixed thread count,
       # legitimately different across thread counts (a parallel burst
       # steps cycles the sequential scheduler skips or fast-forwards).

@@ -339,6 +339,61 @@ TEST(Flows, RejectsBadFlows) {
   EXPECT_THROW(sim.add_flow(0, 0, 100), ContractError);
 }
 
+TEST(Flows, SingleShotLifecycle) {
+  // The simulator is single-shot: once run() has consumed the flow set,
+  // late add_flow() and a second run() both violate the contract.
+  const Wan w = two_link_line();
+  FlowSimulator sim(w);
+  sim.add_flow(0, 2, 1'000'000);
+  sim.run();
+  EXPECT_THROW(sim.add_flow(0, 2, 1'000'000), ContractError);
+  EXPECT_THROW(sim.run(), ContractError);
+  EXPECT_THROW(sim.run_reference(), ContractError);
+}
+
+TEST(Flows, FairRatesGoldenValuesAndBottleneckOrder) {
+  // T3 then T1 in registration order: the T1 (index 1) offers the
+  // smaller share and must be frozen first; the T3 then gives its
+  // residual to the remaining flow.
+  Wan w;
+  const SiteId a = w.add_site("a");
+  const SiteId b = w.add_site("b");
+  const SiteId c = w.add_site("c");
+  w.add_link(a, b, LinkType::T3, Time::ms(1));  // link 0
+  w.add_link(b, c, LinkType::T1, Time::ms(1));  // link 1
+  FlowSimulator sim(w);
+  const auto f1 = sim.add_flow(a, c, 1'000'000);  // T3 + T1
+  const auto f2 = sim.add_flow(a, b, 1'000'000);  // T3 only
+  std::vector<std::size_t> order;
+  const auto rates = sim.fair_rates({f1, f2}, &order);
+  const double t1 = link_bandwidth(LinkType::T1).bytes_per_sec();
+  const double t3 = link_bandwidth(LinkType::T3).bytes_per_sec();
+  // Golden values: exact doubles, not approximations — the pinned
+  // evaluation order makes these bit-stable.
+  EXPECT_EQ(rates[f1], t1);
+  EXPECT_EQ(rates[f2], t3 - t1);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);  // T1 saturates first
+  EXPECT_EQ(order[1], 0u);
+}
+
+TEST(Flows, FairRatesTieBreaksOnLowestLinkIndex) {
+  // Two flows crossing both T3 links of the line: both links offer the
+  // identical share, so the pinned tie-break freezes link 0. Everyone
+  // is frozen after that round, so link 1 never appears in the order.
+  const Wan w = two_link_line();
+  FlowSimulator sim(w);
+  const auto f1 = sim.add_flow(0, 2, 1'000'000);
+  const auto f2 = sim.add_flow(0, 2, 1'000'000);
+  std::vector<std::size_t> order;
+  const auto rates = sim.fair_rates({f1, f2}, &order);
+  const double t3 = link_bandwidth(LinkType::T3).bytes_per_sec();
+  EXPECT_EQ(rates[f1], t3 / 2.0);
+  EXPECT_EQ(rates[f2], t3 / 2.0);
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 0u);
+}
+
 }  // namespace
 }  // namespace hpccsim::wan
 
@@ -426,6 +481,102 @@ TEST(WanProperty, WidestPathMatchesBruteForceOnRandomGraphs) {
         got = std::min(got, hop_best);
       }
       EXPECT_NEAR(got, expect, expect * 1e-12) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpccsim::wan
+
+// -------------------------------------- fluid-model property checks --
+
+namespace hpccsim::wan {
+namespace {
+
+using sim::Time;
+
+// A lone fluid flow sees no contention: its duration must equal the
+// idle-network stream time bytes / bottleneck (the fluid model carries
+// no propagation or packetization terms — those belong to the packet
+// model, cross-checked below).
+TEST(FlowProperty, SingleFlowMatchesIdleBottleneckTime) {
+  const Wan w = consortium_network();
+  const SiteId delta = w.site_by_name("Caltech-Delta");
+  hpccsim::Rng rng(1992);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto dst = static_cast<SiteId>(rng.below(w.site_count()));
+    if (dst == delta) dst = (dst + 1) % w.site_count();
+    const Bytes bytes = 1'000'000 + rng.below(50'000'000);
+    const auto packet = w.transfer(delta, dst, bytes);
+    ASSERT_TRUE(packet.has_value());
+    FlowSimulator sim(w);
+    const auto f = sim.add_flow(delta, dst, bytes);
+    sim.run();
+    const double idle =
+        static_cast<double>(bytes) / packet->bottleneck.bytes_per_sec();
+    EXPECT_NEAR(sim.flows()[f].finish.as_sec(), idle, idle * 1e-6 + 1e-6);
+    EXPECT_NEAR(sim.flows()[f].slowdown, 1.0, 1e-9);
+  }
+}
+
+// Under a simultaneous fan-out from the Delta, transfer times must
+// respect the paper's service hierarchy: HIPPI partners finish far
+// ahead of T3 backbone sites, which beat the T1 tails, which beat the
+// lone 56 kbps regional site.
+TEST(FlowProperty, ContentionPreservesServiceHierarchy) {
+  const Wan w = consortium_network();
+  FlowSimulator sim(w);
+  const SiteId delta = w.site_by_name("Caltech-Delta");
+  const Bytes mb = 20'000'000;
+  const auto hippi = sim.add_flow(delta, w.site_by_name("JPL"), mb);
+  const auto t3 = sim.add_flow(delta, w.site_by_name("NSFnet-West"), mb);
+  const auto t1 = sim.add_flow(delta, w.site_by_name("CRPC-Rice"), mb);
+  const auto slow = sim.add_flow(delta, w.site_by_name("Delaware"), mb);
+  sim.run();
+  const auto secs = [&](std::size_t f) {
+    return sim.flows()[f].finish.as_sec();
+  };
+  EXPECT_GT(secs(t3) / secs(hippi), 5.0);
+  EXPECT_GT(secs(t1) / secs(t3), 5.0);
+  EXPECT_GT(secs(slow) / secs(t1), 5.0);
+}
+
+// The incremental engine against the retained full-recompute oracle:
+// randomized flow sets on the consortium topology must produce the
+// same finish times (up to the engine's picosecond event rounding).
+TEST(FlowProperty, EngineMatchesReferenceOnRandomScenarios) {
+  const Wan w = consortium_network();
+  const SiteId delta = w.site_by_name("Caltech-Delta");
+  hpccsim::Rng rng(92);
+  for (int trial = 0; trial < 12; ++trial) {
+    FlowSimulator engine_sim(w);
+    FlowSimulator reference_sim(w);
+    const int n = 3 + static_cast<int>(rng.below(12));
+    for (int i = 0; i < n; ++i) {
+      // Mix hub fan-out with random site pairs; skip unroutable pairs.
+      SiteId src = delta;
+      auto dst = static_cast<SiteId>(rng.below(w.site_count()));
+      if (rng.below(3) == 0) src = static_cast<SiteId>(rng.below(w.site_count()));
+      if (src == dst) dst = (dst + 1) % w.site_count();
+      if (!w.widest_path(src, dst).has_value()) continue;
+      const Bytes bytes = 500'000 + rng.below(30'000'000);
+      const auto start = Time::ms(static_cast<std::int64_t>(rng.below(5000)));
+      engine_sim.add_flow(src, dst, bytes, start);
+      reference_sim.add_flow(src, dst, bytes, start);
+    }
+    engine_sim.run();
+    reference_sim.run_reference();
+    ASSERT_EQ(engine_sim.flows().size(), reference_sim.flows().size());
+    for (std::size_t f = 0; f < engine_sim.flows().size(); ++f) {
+      const Flow& got = engine_sim.flows()[f];
+      const Flow& want = reference_sim.flows()[f];
+      ASSERT_TRUE(got.done) << "trial " << trial << " flow " << f;
+      ASSERT_TRUE(want.done) << "trial " << trial << " flow " << f;
+      EXPECT_NEAR(got.finish.as_sec(), want.finish.as_sec(),
+                  1e-3 + want.finish.as_sec() * 1e-9)
+          << "trial " << trial << " flow " << f;
+      EXPECT_NEAR(got.slowdown, want.slowdown, 1e-3)
+          << "trial " << trial << " flow " << f;
     }
   }
 }

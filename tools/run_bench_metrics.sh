@@ -34,6 +34,9 @@ run asta_factorizations --n 1000,2000
 run cas_fft
 run testbed_ops --jobs 80 --seeds 3
 run nren_rush_hour
+# Full-scale federation day: ~1.5M completed transfers on the
+# incremental flow engine (the scalability exhibit — keep the defaults).
+run grid_rush_hour
 run io_checkpoint --n 10000
 run fault_waste --nodes 16 --work-hours 8
 
