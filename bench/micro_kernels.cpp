@@ -4,6 +4,9 @@
 // *simulator's* speed on the host, not simulated time.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -12,11 +15,36 @@
 #include "core/engine.hpp"
 #include "core/task.hpp"
 #include "linalg/blas.hpp"
+#include "linalg/distlu.hpp"
 #include "linalg/matrix.hpp"
 #include "mesh/analytical.hpp"
 #include "mesh/flit.hpp"
+#include "nx/machine_runtime.hpp"
 #include "obs/metrics.hpp"
+#include "proc/machine.hpp"
 #include "util/rng.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+// Counting allocator so the modeled-path benchmarks can report
+// allocations per operation (docs/PERF.md "Modeled-mode hot path").
+// Both halves are replaced together; GCC's mismatch heuristic only sees
+// the free() side.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -250,6 +278,64 @@ void BM_flit_step_parallel(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
 }
 BENCHMARK(BM_flit_step_parallel);
+
+void BM_modeled_send_recv(benchmark::State& state) {
+  // The modeled-mode hot path end to end: csend/crecv ping-pong with a
+  // size-only pooled payload. After warmup this must run at zero heap
+  // allocations per message (allocs_per_msg counter).
+  nx::NxMachine m(proc::touchstone_delta().with_nodes(2));
+  constexpr int kRoundtrips = 512;
+  std::uint64_t messages = 0;
+  std::uint64_t allocs_before = 0;
+  for (auto _ : state) {
+    allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+    m.run([](nx::NxContext& ctx) -> sim::Task<> {
+      const int peer = 1 - ctx.rank();
+      for (int i = 0; i < kRoundtrips; ++i) {
+        if (ctx.rank() == 0) {
+          nx::Payload p = nx::Payload::sized(64);
+          co_await ctx.send(peer, 7, 512, std::move(p));
+          nx::Message back = co_await ctx.recv(peer, 8);
+          (void)back;
+        } else {
+          nx::Message got = co_await ctx.recv(peer, 7);
+          (void)got;
+          nx::Payload p = nx::Payload::sized(64);
+          co_await ctx.send(peer, 8, 512, std::move(p));
+        }
+      }
+    });
+    messages += 2 * kRoundtrips;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+  state.counters["allocs_per_msg"] = benchmark::Counter(
+      static_cast<double>(g_heap_allocs.load(std::memory_order_relaxed) -
+                          allocs_before) /
+      (2.0 * kRoundtrips));
+}
+BENCHMARK(BM_modeled_send_recv);
+
+void BM_lu_skeleton_replay(benchmark::State& state) {
+  // Replay throughput of a recorded LU schedule (ops/s): the rate at
+  // which the full-Delta HPL sweep consumes its cached skeletons.
+  nx::NxMachine derive_machine(proc::ipsc860());
+  linalg::LuConfig cfg = linalg::lu_config_for(derive_machine, 2000, 64);
+  const auto skel = linalg::derive_lu_skeleton(derive_machine, cfg, nullptr);
+  nx::NxMachine m(proc::ipsc860());
+  std::uint64_t ops = 0;
+  std::uint64_t allocs_before = 0;
+  for (auto _ : state) {
+    allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+    benchmark::DoNotOptimize(linalg::replay_lu_skeleton(m, cfg, *skel));
+    ops += skel->total_ops();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(g_heap_allocs.load(std::memory_order_relaxed) -
+                          allocs_before) /
+      static_cast<double>(skel->total_ops()));
+}
+BENCHMARK(BM_lu_skeleton_replay);
 
 /// Console reporter that also accumulates per-benchmark real times so
 /// the custom main below can emit the shared --json metrics schema.

@@ -46,6 +46,7 @@ Engine::~Engine() {
 
 void Engine::RootCoro::promise_type::unhandled_exception() {
   root->error = std::current_exception();
+  ++root->engine->pending_errors_;
 }
 
 Engine::RootCoro Engine::run_root(Root* root, Task<void> task) {
@@ -98,11 +99,12 @@ void Engine::dispatch(const detail::QEvent& ev) {
   }
 }
 
-void Engine::check_errors() {
+void Engine::rethrow_pending_error() {
   for (const auto& r : roots_) {
     if (r->error) {
       auto err = r->error;
       r->error = nullptr;  // report once
+      --pending_errors_;
       std::rethrow_exception(err);
     }
   }

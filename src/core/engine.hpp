@@ -206,15 +206,24 @@ class Engine {
   struct Root {
     std::string name;
     Trigger done;
+    Engine* engine;  ///< for the pending-error count (unhandled_exception)
     bool finished = false;
     std::exception_ptr error;
     std::coroutine_handle<RootCoro::promise_type> frame;
-    explicit Root(Engine& e, std::string n) : name(std::move(n)), done(e) {}
+    explicit Root(Engine& e, std::string n)
+        : name(std::move(n)), done(e), engine(&e) {}
   };
 
   static RootCoro run_root(Root* root, Task<void> task);
   void dispatch(const detail::QEvent& ev);
-  void check_errors();
+  /// Called once per dispatched event: O(1) when no process has failed
+  /// (the common case — unhandled_exception counts pending errors), so
+  /// the per-event cost no longer scales with the number of roots.
+  void check_errors() {
+    if (pending_errors_ == 0) return;
+    rethrow_pending_error();
+  }
+  void rethrow_pending_error();
   void note_queue_depth() {
     if (queue_.size() > peak_queue_depth_)
       peak_queue_depth_ = queue_.size();
@@ -226,6 +235,7 @@ class Engine {
   std::uint64_t max_events_ = 0;
   std::uint64_t calls_scheduled_ = 0;
   std::uint64_t peak_queue_depth_ = 0;
+  std::uint32_t pending_errors_ = 0;
   detail::EventQueue queue_;
   // Callback storage: events reference slots by index so queue records
   // stay POD; freed slots are recycled newest-first (cache-warm).

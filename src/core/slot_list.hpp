@@ -1,0 +1,110 @@
+// SlotList: an intrusive doubly-linked list over a recycled slot vector.
+//
+// The queue/list shape the simulator's matching structures need —
+// FIFO iteration with O(1) erase-from-the-middle — but with node
+// storage that is never freed, only recycled: after warmup, push/erase
+// touch the heap zero times. Slot ids are stable across unrelated
+// pushes and erases (an id is only reused after its slot is erased),
+// which lets suspended coroutines and engine callbacks name their
+// entry without pointers into reallocating storage.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace hpccsim::sim {
+
+template <class T>
+class SlotList {
+ public:
+  static constexpr std::uint32_t npos = 0xffffffffu;
+
+  /// Append; returns the slot id (stable until erased).
+  std::uint32_t push_back(T value) {
+    std::uint32_t id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+      slots_[id].value = std::move(value);
+    } else {
+      id = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(Slot{std::move(value), npos, npos});
+    }
+    Slot& s = slots_[id];
+    s.prev = tail_;
+    s.next = npos;
+    if (tail_ != npos)
+      slots_[tail_].next = id;
+    else
+      head_ = id;
+    tail_ = id;
+    ++size_;
+    return id;
+  }
+
+  /// Move the value out and free the slot.
+  T take(std::uint32_t id) {
+    T out = std::move(slots_[id].value);
+    erase(id);
+    return out;
+  }
+
+  /// Unlink and recycle a slot; the stored value is reset to T{} so
+  /// resources (payloads, handles) are released immediately.
+  void erase(std::uint32_t id) {
+    HPCCSIM_EXPECTS(id < slots_.size());
+    Slot& s = slots_[id];
+    if (s.prev != npos)
+      slots_[s.prev].next = s.next;
+    else
+      head_ = s.next;
+    if (s.next != npos)
+      slots_[s.next].prev = s.prev;
+    else
+      tail_ = s.prev;
+    s.value = T{};
+    s.prev = s.next = npos;
+    free_.push_back(id);
+    --size_;
+  }
+
+  T& operator[](std::uint32_t id) { return slots_[id].value; }
+  const T& operator[](std::uint32_t id) const { return slots_[id].value; }
+
+  /// FIFO iteration: for (auto id = l.first(); id != npos; id = l.next(id)).
+  std::uint32_t first() const { return head_; }
+  std::uint32_t next(std::uint32_t id) const { return slots_[id].next; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Drop every element (capacity retained).
+  void clear() {
+    for (std::uint32_t id = head_; id != npos;) {
+      const std::uint32_t nxt = slots_[id].next;
+      slots_[id].value = T{};
+      slots_[id].prev = slots_[id].next = npos;
+      free_.push_back(id);
+      id = nxt;
+    }
+    head_ = tail_ = npos;
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    T value{};
+    std::uint32_t prev = npos;
+    std::uint32_t next = npos;
+  };
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t head_ = npos;
+  std::uint32_t tail_ = npos;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hpccsim::sim

@@ -1,8 +1,12 @@
 #include "linalg/distlu.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <tuple>
 #include <vector>
 
 #include "linalg/blas.hpp"
@@ -174,10 +178,18 @@ Task<> lu_node_program(NxContext& ctx, LuState& st) {
   // and in modeled mode).
   std::vector<double>& bloc = st.local_b[static_cast<std::size_t>(rank)];
   co_await nx::barrier(ctx, world);
-  if (rank == 0) st.t_start = ctx.now();
+  if (rank == 0) {
+    st.t_start = ctx.now();
+    ctx.skeleton_mark(0);
+  }
 
   // ------------------------------------------------- factorization --
   const std::int64_t nblocks = dist.block_count();
+  // Per-panel scratch, hoisted out of the k loop so steady-state panels
+  // reuse capacity instead of re-allocating (docs/PERF.md).
+  std::vector<std::int64_t> piv_this_panel;  // global pivot rows
+  std::vector<std::int64_t> panel_cols;      // local panel column indices
+  std::vector<std::int64_t> out_cols;        // local non-panel columns
   for (std::int64_t k = 0; k < nblocks; ++k) {
     const std::int64_t j0 = k * cfg.nb;
     const std::int64_t jb = std::min<std::int64_t>(cfg.nb, n - j0);
@@ -186,10 +198,13 @@ Task<> lu_node_program(NxContext& ctx, LuState& st) {
 
     // Local panel geometry.
     const std::int64_t panel_lc0 = dist.first_local_col_at_or_after(pcol, j0);
-    std::vector<std::int64_t> piv_this_panel;  // global pivot rows
+    piv_this_panel.clear();
 
     // ---- 1. panel factorization (process column pc only) ----
     if (pcol == pc) {
+      panel_cols.clear();
+      for (std::int64_t c = 0; c < jb; ++c)
+        panel_cols.push_back(panel_lc0 + c);
       for (std::int64_t j = j0; j < j0 + jb; ++j) {
         const std::int64_t lj = panel_lc0 + (j - j0);  // local col of j
         const std::int64_t lr0 = dist.first_local_row_at_or_after(prow, j);
@@ -230,9 +245,6 @@ Task<> lu_node_program(NxContext& ctx, LuState& st) {
         // Swap rows j and piv_row within the panel columns.
         const std::int32_t oj = dist.owner_prow(j);
         const std::int32_t op = dist.owner_prow(piv_row);
-        std::vector<std::int64_t> panel_cols(static_cast<std::size_t>(jb));
-        for (std::int64_t c = 0; c < jb; ++c)
-          panel_cols[static_cast<std::size_t>(c)] = panel_lc0 + c;
         if (piv_row != j) {
           if (oj == op) {
             if (prow == oj) {
@@ -300,11 +312,19 @@ Task<> lu_node_program(NxContext& ctx, LuState& st) {
     // ---- 2. pivot sequence along process rows ----
     Payload pivpay;
     if (pcol == pc) {
-      std::vector<double> pv;
-      pv.reserve(piv_this_panel.size());
-      for (const std::int64_t p : piv_this_panel)
-        pv.push_back(static_cast<double>(p));
-      pivpay = nx::make_payload(std::move(pv));
+      if (st.numeric) {
+        std::vector<double> pv;
+        pv.reserve(piv_this_panel.size());
+        for (const std::int64_t p : piv_this_panel)
+          pv.push_back(static_cast<double>(p));
+        pivpay = nx::make_payload(std::move(pv));
+      } else {
+        // Modeled mode: receivers recompute the deterministic stand-in
+        // pivots locally, so the bcast only needs the shape — a pooled
+        // size-only payload, the modeled hot path's one payload per
+        // panel (was the last per-iteration heap allocation).
+        pivpay = Payload::sized(static_cast<std::size_t>(jb));
+      }
     }
     Message pivmsg = co_await nx::bcast(
         ctx, rowg, cfg.grid.rank_of(prow, pc),
@@ -328,8 +348,7 @@ Task<> lu_node_program(NxContext& ctx, LuState& st) {
     // ---- 3. apply row swaps to non-panel local columns ----
     {
       // Columns outside the panel, in local indexing.
-      std::vector<std::int64_t> out_cols;
-      out_cols.reserve(static_cast<std::size_t>(lcols));
+      out_cols.clear();
       for (std::int64_t lc = 0; lc < lcols; ++lc) {
         const std::int64_t gc = dist.global_col(pcol, lc);
         if (gc < j0 || gc >= j0 + jb) out_cols.push_back(lc);
@@ -616,7 +635,10 @@ Task<> lu_node_program(NxContext& ctx, LuState& st) {
   }
 
   co_await nx::barrier(ctx, world);
-  if (rank == 0) st.t_end = ctx.now();
+  if (rank == 0) {
+    st.t_end = ctx.now();
+    ctx.skeleton_mark(1);
+  }
 
   // --------------------------------- verification (numeric, untimed) --
   //
@@ -650,6 +672,146 @@ Task<> lu_node_program(NxContext& ctx, LuState& st) {
   }
 }
 
+// ------------------------------------------ skeleton derive / replay --
+
+/// Clock instants the replayer extracts from MarkTime ops (rank 0's
+/// t_start / t_end). Shared by every rank's replay coroutine.
+struct ReplayShared {
+  Time marks[2];
+};
+
+/// Replays one rank's recorded op stream: a flat loop that re-issues
+/// the identical ctx-level primitives in the identical order, so the
+/// engine processes the identical (time, seq) event stream as the
+/// derived run — no coroutine tree, no per-panel control flow.
+Task<> replay_rank(NxContext& ctx, const std::vector<nx::SkelOp>& ops,
+                   ReplayShared& sh) {
+  struct CollFrame {
+    nx::CollectiveKind kind;
+    Time start;
+  };
+  // Collectives nest at most barrier > allreduce > reduce/bcast deep.
+  std::array<CollFrame, 8> coll{};
+  std::size_t depth = 0;
+  for (const nx::SkelOp& op : ops) {
+    switch (op.kind) {
+      case nx::SkelOp::Send: {
+        // Hoisted named local (GCC 12 ?:-in-co_await rule).
+        Payload p;
+        if (op.aux & 1)
+          p = Payload::sized(static_cast<std::size_t>(op.c / 8));
+        co_await ctx.send(static_cast<int>(op.a), static_cast<int>(op.b),
+                          op.c, std::move(p));
+        break;
+      }
+      case nx::SkelOp::Recv: {
+        Message m =
+            co_await ctx.recv(static_cast<int>(op.b) - 1,
+                              static_cast<int>(op.c));
+        (void)m;
+        break;
+      }
+      case nx::SkelOp::Compute:
+        co_await ctx.compute(
+            static_cast<Kernel>(op.aux),
+            static_cast<std::int64_t>(op.c >> 32),
+            static_cast<std::int64_t>(op.c & 0xffffffffull),
+            static_cast<std::int64_t>(op.b));
+        break;
+      case nx::SkelOp::Busy:
+        co_await ctx.busy(Time::ps(static_cast<std::int64_t>(op.c)));
+        break;
+      case nx::SkelOp::CollBegin:
+        HPCCSIM_EXPECTS(depth < coll.size());
+        coll[depth++] =
+            CollFrame{static_cast<nx::CollectiveKind>(op.aux), ctx.now()};
+        break;
+      case nx::SkelOp::CollEnd: {
+        HPCCSIM_EXPECTS(depth > 0);
+        const CollFrame f = coll[--depth];
+        const Time end = ctx.now();
+        ctx.machine().collective_histogram(f.kind).record(
+            static_cast<std::int64_t>((end - f.start).as_ns()));
+        if (obs::TraceWriter* tw = ctx.machine().trace_writer())
+          tw->complete(ctx.rank(), nx::collective_name(f.kind),
+                       "collective", f.start, end);
+        break;
+      }
+      case nx::SkelOp::MarkTime:
+        HPCCSIM_EXPECTS(op.aux < 2);
+        sh.marks[op.aux] = ctx.now();
+        break;
+    }
+  }
+}
+
+LuResult make_lu_result(const LuConfig& cfg, Time t0, Time t1,
+                        const nx::NodeStats& before,
+                        const nx::NodeStats& after) {
+  LuResult res;
+  res.elapsed = t1 - t0;
+  res.gflops = lu_solve_flops(static_cast<double>(cfg.n)) /
+               res.elapsed.as_sec() / 1e9;
+  res.messages = after.sends - before.sends;
+  res.bytes_moved = after.bytes_sent - before.bytes_sent;
+  res.flops_charged = after.flops_charged - before.flops_charged;
+  res.compute_time = after.compute_time - before.compute_time;
+  return res;
+}
+
+/// Detaches recorders even when the run throws (recorders are caller
+/// stack locals; a dangling pointer would outlive them).
+struct RecorderGuard {
+  nx::NxMachine* m;
+  ~RecorderGuard() {
+    for (int r = 0; r < m->nodes(); ++r)
+      m->context(r).set_skeleton_recorder(nullptr);
+  }
+};
+
+/// The derived (coroutine) run, optionally recording per-rank ops.
+LuResult run_lu_program(nx::NxMachine& machine, const LuConfig& cfg,
+                        std::vector<nx::SkeletonRecorder>* recs) {
+  LuState st(cfg);
+  st.local.resize(static_cast<std::size_t>(machine.nodes()));
+  st.local_b.resize(static_cast<std::size_t>(machine.nodes()));
+
+  const auto before = machine.total_stats();
+  {
+    RecorderGuard guard{&machine};
+    machine.run([&st, recs](nx::NxContext& ctx) {
+      if (recs)
+        ctx.set_skeleton_recorder(
+            &(*recs)[static_cast<std::size_t>(ctx.rank())]);
+      return lu_node_program(ctx, st);
+    });
+  }
+
+  const auto after = machine.total_stats();
+  LuResult res = make_lu_result(cfg, st.t_start, st.t_end, before, after);
+  res.residual = st.residual;
+  HPCCSIM_LOG(Debug) << "distlu n=" << cfg.n << " nb=" << cfg.nb << " grid="
+                     << cfg.grid.rows << "x" << cfg.grid.cols << " t="
+                     << res.elapsed.str() << " gflops=" << res.gflops;
+  return res;
+}
+
+// SkeletonMode::Auto cache: schedule depends only on these five
+// parameters (never on the NodeModel — timing does not steer the
+// program's control flow), so the key omits the machine config.
+using SkelKey =
+    std::tuple<std::int64_t, std::int64_t, std::int32_t, std::int32_t, bool>;
+
+SkelKey skel_key(const LuConfig& cfg) {
+  return {cfg.n, cfg.nb, cfg.grid.rows, cfg.grid.cols, cfg.include_solve};
+}
+
+std::mutex g_skel_cache_mu;
+std::map<SkelKey, std::shared_ptr<const LuSkeleton>>& skel_cache() {
+  static std::map<SkelKey, std::shared_ptr<const LuSkeleton>> cache;
+  return cache;
+}
+
 }  // namespace
 
 LuConfig lu_config_for(const nx::NxMachine& machine, std::int64_t n,
@@ -667,27 +829,89 @@ LuResult run_distributed_lu(nx::NxMachine& machine, const LuConfig& cfg) {
   HPCCSIM_EXPECTS(cfg.grid.size() == machine.nodes());
   HPCCSIM_EXPECTS(cfg.n >= 1 && cfg.nb >= 1);
 
-  LuState st(cfg);
-  st.local.resize(static_cast<std::size_t>(machine.nodes()));
-  st.local_b.resize(static_cast<std::size_t>(machine.nodes()));
+  if (cfg.skeleton == SkeletonMode::Auto && cfg.mode == ExecMode::Modeled) {
+    std::shared_ptr<const LuSkeleton> cached;
+    {
+      std::lock_guard<std::mutex> lock(g_skel_cache_mu);
+      auto it = skel_cache().find(skel_key(cfg));
+      if (it != skel_cache().end()) cached = it->second;
+    }
+    if (cached) return replay_lu_skeleton(machine, cfg, *cached);
+    LuResult res;
+    if (auto skel = derive_lu_skeleton(machine, cfg, &res)) {
+      std::lock_guard<std::mutex> lock(g_skel_cache_mu);
+      skel_cache().emplace(skel_key(cfg), std::move(skel));
+    }
+    return res;
+  }
+  return run_lu_program(machine, cfg, nullptr);
+}
 
+std::size_t LuSkeleton::total_ops() const {
+  std::size_t total = 0;
+  for (const auto& ops : per_rank) total += ops.size();
+  return total;
+}
+
+std::shared_ptr<const LuSkeleton> derive_lu_skeleton(nx::NxMachine& machine,
+                                                     const LuConfig& cfg,
+                                                     LuResult* result) {
+  HPCCSIM_EXPECTS(cfg.grid.size() == machine.nodes());
+  HPCCSIM_EXPECTS(cfg.mode == ExecMode::Modeled);
+  std::vector<nx::SkeletonRecorder> recs(
+      static_cast<std::size_t>(machine.nodes()));
+  LuResult res = run_lu_program(machine, cfg, &recs);
+  if (result) *result = res;
+  for (const auto& r : recs)
+    if (!r.valid) return nullptr;
+  auto skel = std::make_shared<LuSkeleton>();
+  skel->n = cfg.n;
+  skel->nb = cfg.nb;
+  skel->rows = cfg.grid.rows;
+  skel->cols = cfg.grid.cols;
+  skel->include_solve = cfg.include_solve;
+  skel->per_rank.reserve(recs.size());
+  for (auto& r : recs) skel->per_rank.push_back(std::move(r.ops));
+  return skel;
+}
+
+LuResult replay_lu_skeleton(nx::NxMachine& machine, const LuConfig& cfg,
+                            const LuSkeleton& skel) {
+  HPCCSIM_EXPECTS(cfg.grid.size() == machine.nodes());
+  HPCCSIM_EXPECTS(skel.n == cfg.n && skel.nb == cfg.nb);
+  HPCCSIM_EXPECTS(skel.rows == cfg.grid.rows && skel.cols == cfg.grid.cols);
+  HPCCSIM_EXPECTS(skel.include_solve == cfg.include_solve);
+  HPCCSIM_EXPECTS(static_cast<int>(skel.per_rank.size()) == machine.nodes());
+
+  ReplayShared sh;
   const auto before = machine.total_stats();
-  machine.run([&st](nx::NxContext& ctx) { return lu_node_program(ctx, st); });
+  machine.run([&skel, &sh](nx::NxContext& ctx) {
+    return replay_rank(
+        ctx, skel.per_rank[static_cast<std::size_t>(ctx.rank())], sh);
+  });
   const auto after = machine.total_stats();
 
-  LuResult res;
-  res.elapsed = st.t_end - st.t_start;
-  res.gflops = lu_solve_flops(static_cast<double>(cfg.n)) /
-               res.elapsed.as_sec() / 1e9;
-  res.residual = st.residual;
-  res.messages = after.sends - before.sends;
-  res.bytes_moved = after.bytes_sent - before.bytes_sent;
-  res.flops_charged = after.flops_charged - before.flops_charged;
-  res.compute_time = after.compute_time - before.compute_time;
-  HPCCSIM_LOG(Debug) << "distlu n=" << cfg.n << " nb=" << cfg.nb << " grid="
-                     << cfg.grid.rows << "x" << cfg.grid.cols << " t="
+  machine.counters().counter("lu.skeleton.replays").add(1);
+  machine.counters()
+      .counter("lu.skeleton.replayed_ops")
+      .add(static_cast<std::int64_t>(skel.total_ops()));
+
+  LuResult res = make_lu_result(cfg, sh.marks[0], sh.marks[1], before, after);
+  HPCCSIM_LOG(Debug) << "distlu replay n=" << cfg.n << " nb=" << cfg.nb
+                     << " grid=" << cfg.grid.rows << "x" << cfg.grid.cols
+                     << " ops=" << skel.total_ops() << " t="
                      << res.elapsed.str() << " gflops=" << res.gflops;
   return res;
+}
+
+void clear_lu_skeleton_cache() {
+  std::lock_guard<std::mutex> lock(g_skel_cache_mu);
+  skel_cache().clear();
+}
+
+std::size_t lu_skeleton_cache_size() {
+  std::lock_guard<std::mutex> lock(g_skel_cache_mu);
+  return skel_cache().size();
 }
 
 }  // namespace hpccsim::linalg

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "core/time.hpp"
@@ -36,6 +37,12 @@
 namespace hpccsim::linalg {
 
 enum class ExecMode { Numeric, Modeled };
+
+/// Modeled-mode skeleton policy (docs/MODEL.md §13).
+enum class SkeletonMode {
+  Off,   ///< always derive the schedule by running the coroutine program
+  Auto,  ///< replay a cached schedule when one exists; derive + cache otherwise
+};
 
 struct LuConfig {
   std::int64_t n = 1000;
@@ -48,6 +55,11 @@ struct LuConfig {
   /// Include the (modeled) triangular-solve phase in the timing, as
   /// LINPACK does.
   bool include_solve = true;
+  /// The modeled schedule is input-independent for fixed (n, nb, grid,
+  /// include_solve), so Auto records it once and replays the compact op
+  /// stream on later runs — identical counters and timings, no
+  /// coroutine re-derivation. Ignored in numeric mode.
+  SkeletonMode skeleton = SkeletonMode::Off;
 };
 
 struct LuResult {
@@ -70,5 +82,42 @@ LuResult run_distributed_lu(nx::NxMachine& machine, const LuConfig& cfg);
 LuConfig lu_config_for(const nx::NxMachine& machine, std::int64_t n,
                        std::int64_t nb = 64,
                        ExecMode mode = ExecMode::Modeled);
+
+/// The recorded modeled-mode communication schedule of one
+/// (n, nb, grid, include_solve) configuration: one compact SkelOp
+/// stream per rank (16 bytes/op; docs/MODEL.md §13). The schedule
+/// never reads the clock or payload values, so one skeleton replays
+/// validly under any NodeModel — the basis of kernel calibration.
+struct LuSkeleton {
+  std::int64_t n = 0;
+  std::int64_t nb = 0;
+  std::int32_t rows = 0;
+  std::int32_t cols = 0;
+  bool include_solve = true;
+  std::vector<std::vector<nx::SkelOp>> per_rank;
+  std::size_t total_ops() const;
+};
+
+/// Run a modeled LU on `machine` while recording its schedule. The run
+/// itself is byte-identical to an unrecorded run (recording is
+/// observation-only); `result`, when non-null, receives its LuResult.
+/// Returns nullptr if the schedule is not representable (it always is
+/// for the LU programs here) — the result is still valid then.
+std::shared_ptr<const LuSkeleton> derive_lu_skeleton(nx::NxMachine& machine,
+                                                     const LuConfig& cfg,
+                                                     LuResult* result);
+
+/// Re-issue a recorded schedule on `machine`. With the same machine
+/// config this reproduces the derived run's engine event stream
+/// byte-for-byte (same counters, histograms and timings; only the
+/// machine's lu.skeleton.* counters and payload-pool acquire counts
+/// differ — see docs/MODEL.md §13). With a different NodeModel it
+/// yields that model's timings for the same schedule.
+LuResult replay_lu_skeleton(nx::NxMachine& machine, const LuConfig& cfg,
+                            const LuSkeleton& skel);
+
+/// The SkeletonMode::Auto cache (process-wide, mutex-protected).
+void clear_lu_skeleton_cache();
+std::size_t lu_skeleton_cache_size();
 
 }  // namespace hpccsim::linalg

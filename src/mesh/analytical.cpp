@@ -40,15 +40,19 @@ sim::Time AnalyticalMeshNet::transfer(NodeId src, NodeId dst, Bytes bytes,
     return depart + params_.nic_latency + ser;
   }
 
-  auto route = mesh_.xy_route(src, dst);
+  // Routes go into member scratch buffers: this runs once per message,
+  // and the modeled hot path must not heap-allocate (docs/PERF.md).
+  std::vector<LinkId>& route = route_scratch_;
+  mesh_.xy_route_into(src, dst, route);
   sim::Time start = depart;
   if (failed_count_ > 0 && !route_clean(route)) {
     // Fault path: prefer the YX detour; if that is also cut, retry the
     // XY route after a backpressure stall (the repair model guarantees
     // progress, so we do not simulate the retry loop itself).
-    auto alt = mesh_.yx_route(src, dst);
+    std::vector<LinkId>& alt = alt_scratch_;
+    mesh_.yx_route_into(src, dst, alt);
     if (route_clean(alt)) {
-      route = std::move(alt);
+      route.swap(alt);
       ++reroutes_;
     } else {
       start = start + params_.fault_stall;

@@ -81,6 +81,10 @@ class AnalyticalMeshNet final : public NetworkModel {
   std::uint64_t stalls_ = 0;
   std::uint64_t messages_ = 0;
   RunningStat contention_us_;
+  // Per-message route scratch (capacity persists: transfer() is the
+  // hottest network call and must not allocate after warmup).
+  std::vector<LinkId> route_scratch_;
+  std::vector<LinkId> alt_scratch_;
 };
 
 }  // namespace hpccsim::mesh

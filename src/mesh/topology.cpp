@@ -50,48 +50,60 @@ std::int32_t Mesh2D::distance(NodeId a, NodeId b) const {
   return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
 }
 
-std::vector<LinkId> Mesh2D::xy_route(NodeId src, NodeId dst) const {
+void Mesh2D::xy_route_into(NodeId src, NodeId dst,
+                           std::vector<LinkId>& out) const {
   const Coord to = coord_of(dst);
-  std::vector<LinkId> route;
-  route.reserve(static_cast<std::size_t>(distance(src, dst)));
+  out.clear();
   NodeId at = src;
   Coord c = coord_of(src);
   // X dimension first, then Y: the Delta's dimension-order rule.
   while (c.x != to.x) {
     const Dir d = c.x < to.x ? Dir::East : Dir::West;
-    route.push_back(link(at, d));
+    out.push_back(link(at, d));
     at = neighbour(at, d);
     c = coord_of(at);
   }
   while (c.y != to.y) {
     const Dir d = c.y < to.y ? Dir::South : Dir::North;
-    route.push_back(link(at, d));
+    out.push_back(link(at, d));
     at = neighbour(at, d);
     c = coord_of(at);
   }
   HPCCSIM_ENSURES(at == dst);
-  return route;
 }
 
-std::vector<LinkId> Mesh2D::yx_route(NodeId src, NodeId dst) const {
+void Mesh2D::yx_route_into(NodeId src, NodeId dst,
+                           std::vector<LinkId>& out) const {
   const Coord to = coord_of(dst);
-  std::vector<LinkId> route;
-  route.reserve(static_cast<std::size_t>(distance(src, dst)));
+  out.clear();
   NodeId at = src;
   Coord c = coord_of(src);
   while (c.y != to.y) {
     const Dir d = c.y < to.y ? Dir::South : Dir::North;
-    route.push_back(link(at, d));
+    out.push_back(link(at, d));
     at = neighbour(at, d);
     c = coord_of(at);
   }
   while (c.x != to.x) {
     const Dir d = c.x < to.x ? Dir::East : Dir::West;
-    route.push_back(link(at, d));
+    out.push_back(link(at, d));
     at = neighbour(at, d);
     c = coord_of(at);
   }
   HPCCSIM_ENSURES(at == dst);
+}
+
+std::vector<LinkId> Mesh2D::xy_route(NodeId src, NodeId dst) const {
+  std::vector<LinkId> route;
+  route.reserve(static_cast<std::size_t>(distance(src, dst)));
+  xy_route_into(src, dst, route);
+  return route;
+}
+
+std::vector<LinkId> Mesh2D::yx_route(NodeId src, NodeId dst) const {
+  std::vector<LinkId> route;
+  route.reserve(static_cast<std::size_t>(distance(src, dst)));
+  yx_route_into(src, dst, route);
   return route;
 }
 

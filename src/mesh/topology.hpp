@@ -65,6 +65,11 @@ class Mesh2D {
   /// used when a link on the XY route is down. Same length as XY.
   std::vector<LinkId> yx_route(NodeId src, NodeId dst) const;
 
+  /// Allocation-free variants for per-message hot paths: clear `out`
+  /// and refill it, retaining its capacity across calls.
+  void xy_route_into(NodeId src, NodeId dst, std::vector<LinkId>& out) const;
+  void yx_route_into(NodeId src, NodeId dst, std::vector<LinkId>& out) const;
+
   /// The node sequence visited by the XY route, including endpoints.
   std::vector<NodeId> xy_path_nodes(NodeId src, NodeId dst) const;
 

@@ -29,28 +29,58 @@ int collective_tag(NxContext& ctx, const Group& g) {
 // Composed collectives nest — allreduce(Binomial) also records its
 // inner reduce and bcast, barrier its inner allreduce — which is
 // deliberate: the histogram is a call profile, not an app profile.
+//
+// The histogram is resolved by enum through the machine's per-kind
+// cache (NxMachine::collective_histogram), so entering a collective no
+// longer builds a "nx.collective." + name string per call. When a
+// skeleton recorder is attached, entry/exit also emit CollBegin/
+// CollEnd ops so replay can reproduce the same histogram rows.
 class CollectiveTimer {
  public:
-  CollectiveTimer(NxContext& ctx, const char* name)
-      : ctx_(&ctx), name_(name), start_(ctx.now()) {}
+  CollectiveTimer(NxContext& ctx, CollectiveKind kind)
+      : ctx_(&ctx), kind_(kind), start_(ctx.now()) {
+    if (SkeletonRecorder* rec = ctx.skeleton_recorder())
+      rec->ops.push_back(SkelOp{SkelOp::CollBegin,
+                                static_cast<std::uint8_t>(kind), 0, 0, 0});
+  }
   CollectiveTimer(const CollectiveTimer&) = delete;
   CollectiveTimer& operator=(const CollectiveTimer&) = delete;
   ~CollectiveTimer() {
     NxMachine& m = ctx_->machine();
     const sim::Time end = ctx_->now();
-    m.counters()
-        .histogram(std::string("nx.collective.") + name_ + ".ns")
-        .record(static_cast<std::int64_t>((end - start_).as_ns()));
+    m.collective_histogram(kind_).record(
+        static_cast<std::int64_t>((end - start_).as_ns()));
     if (obs::TraceWriter* tw = m.trace_writer())
-      tw->complete(ctx_->rank(), name_, "collective", start_, end);
+      tw->complete(ctx_->rank(), collective_name(kind_), "collective",
+                   start_, end);
+    if (SkeletonRecorder* rec = ctx_->skeleton_recorder())
+      rec->ops.push_back(SkelOp{SkelOp::CollEnd,
+                                static_cast<std::uint8_t>(kind_), 0, 0, 0});
   }
 
  private:
   NxContext* ctx_;
-  const char* name_;
+  CollectiveKind kind_;
   sim::Time start_;
 };
 }  // namespace
+
+const char* collective_name(CollectiveKind k) {
+  switch (k) {
+    case CollectiveKind::Barrier: return "barrier";
+    case CollectiveKind::AbortableBarrier: return "abortable_barrier";
+    case CollectiveKind::Bcast: return "bcast";
+    case CollectiveKind::Reduce: return "reduce";
+    case CollectiveKind::Allreduce: return "allreduce";
+    case CollectiveKind::Gather: return "gather";
+    case CollectiveKind::Scatter: return "scatter";
+    case CollectiveKind::Alltoall: return "alltoall";
+    case CollectiveKind::Allgather: return "allgather";
+    case CollectiveKind::ReduceScatter: return "reduce_scatter";
+    case CollectiveKind::Sendrecv: return "sendrecv";
+  }
+  return "?";
+}
 
 Group::Group(std::vector<int> ranks, int tag_space)
     : ranks_(std::move(ranks)), tag_space_(tag_space) {
@@ -87,7 +117,15 @@ const char* algo_name(CollectiveAlgo a) {
 }
 
 Payload combine(ReduceOp op, const Payload& a, const Payload& b) {
-  if (!a || !b) return {};  // modeled mode: shapes only
+  if (!a || !b) {
+    // Modeled mode: shapes only, no arithmetic. Keep a size-only
+    // contribution alive (refcount copy, no allocation) so the reduce
+    // result still reports elements(); still null when neither side
+    // carries a shape.
+    if (a.is_sized()) return a;
+    if (b.is_sized()) return b;
+    return {};
+  }
   HPCCSIM_EXPECTS(a->size() == b->size());
   std::vector<double> out(a->size());
   switch (op) {
@@ -183,7 +221,7 @@ sim::Task<Message> bcast(NxContext& ctx, const Group& g, int root,
                          Bytes bytes, Payload data, CollectiveAlgo algo) {
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
   HPCCSIM_EXPECTS(g.contains(root));
-  CollectiveTimer timer(ctx, "bcast");
+  CollectiveTimer timer(ctx, CollectiveKind::Bcast);
   const int tag = collective_tag(ctx, g);
   if (g.size() == 1) co_return Message{root, tag, bytes, std::move(data)};
   switch (algo) {
@@ -205,7 +243,7 @@ sim::Task<Message> reduce(NxContext& ctx, const Group& g, int root,
                           ReduceOp op, Bytes bytes, Payload contribution) {
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
   HPCCSIM_EXPECTS(g.contains(root));
-  CollectiveTimer timer(ctx, "reduce");
+  CollectiveTimer timer(ctx, CollectiveKind::Reduce);
   const int tag = collective_tag(ctx, g);
   const int size = g.size();
   const int root_idx = g.index_of(root);
@@ -234,7 +272,7 @@ sim::Task<Message> allreduce(NxContext& ctx, const Group& g, ReduceOp op,
                              Bytes bytes, Payload contribution,
                              CollectiveAlgo algo) {
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
-  CollectiveTimer timer(ctx, "allreduce");
+  CollectiveTimer timer(ctx, CollectiveKind::Allreduce);
   const int root = g.rank_at(0);
   const int size = g.size();
   if (size == 1)
@@ -295,7 +333,7 @@ sim::Task<Message> allreduce(NxContext& ctx, const Group& g, ReduceOp op,
 // ------------------------------------------------------------- barrier --
 
 sim::Task<> barrier(NxContext& ctx, const Group& g) {
-  CollectiveTimer timer(ctx, "barrier");
+  CollectiveTimer timer(ctx, CollectiveKind::Barrier);
   // Zero-byte allreduce: correctness only needs the synchronization.
   co_await allreduce(ctx, g, ReduceOp::Sum, 0, {});
 }
@@ -304,7 +342,7 @@ sim::Task<bool> abortable_barrier(NxContext& ctx, const Group& g,
                                   sim::Trigger& abort, int epoch_key) {
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
   HPCCSIM_EXPECTS(epoch_key >= 0);
-  CollectiveTimer timer(ctx, "abortable_barrier");
+  CollectiveTimer timer(ctx, CollectiveKind::AbortableBarrier);
   // Tags live in their own space above the collective tags; the epoch
   // key isolates attempts, the low bits isolate rounds (P <= 2^16).
   const int tag_base =
@@ -332,7 +370,7 @@ sim::Task<std::vector<Message>> gather(NxContext& ctx, const Group& g,
                                        int root, Bytes bytes,
                                        Payload contribution) {
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
-  CollectiveTimer timer(ctx, "gather");
+  CollectiveTimer timer(ctx, CollectiveKind::Gather);
   const int tag = collective_tag(ctx, g);
   std::vector<Message> out;
   if (ctx.rank() == root) {
@@ -351,7 +389,7 @@ sim::Task<std::vector<Message>> gather(NxContext& ctx, const Group& g,
 
 sim::Task<Message> scatter(NxContext& ctx, const Group& g, int root,
                            Bytes bytes_each, std::vector<Payload> slices) {
-  CollectiveTimer timer(ctx, "scatter");
+  CollectiveTimer timer(ctx, CollectiveKind::Scatter);
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
   const int tag = collective_tag(ctx, g);
   if (ctx.rank() == root) {
@@ -374,7 +412,7 @@ sim::Task<Message> scatter(NxContext& ctx, const Group& g, int root,
 sim::Task<std::vector<Message>> alltoall(NxContext& ctx, const Group& g,
                                          Bytes bytes_each,
                                          std::vector<Payload> slices) {
-  CollectiveTimer timer(ctx, "alltoall");
+  CollectiveTimer timer(ctx, CollectiveKind::Alltoall);
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
   HPCCSIM_EXPECTS(slices.empty() ||
                   static_cast<int>(slices.size()) == g.size());
@@ -407,7 +445,7 @@ sim::Task<std::vector<Message>> alltoall(NxContext& ctx, const Group& g,
 sim::Task<std::vector<Message>> allgather(NxContext& ctx, const Group& g,
                                           Bytes bytes_each,
                                           Payload contribution) {
-  CollectiveTimer timer(ctx, "allgather");
+  CollectiveTimer timer(ctx, CollectiveKind::Allgather);
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
   const int tag = collective_tag(ctx, g);
   const int size = g.size();
@@ -437,7 +475,7 @@ sim::Task<std::vector<Message>> allgather(NxContext& ctx, const Group& g,
 sim::Task<Message> reduce_scatter(NxContext& ctx, const Group& g,
                                   ReduceOp op, Bytes bytes_total,
                                   Payload contribution) {
-  CollectiveTimer timer(ctx, "reduce_scatter");
+  CollectiveTimer timer(ctx, CollectiveKind::ReduceScatter);
   HPCCSIM_EXPECTS(g.contains(ctx.rank()));
   const int size = g.size();
   HPCCSIM_EXPECTS(bytes_total % static_cast<Bytes>(size) == 0);
@@ -468,7 +506,7 @@ sim::Task<Message> reduce_scatter(NxContext& ctx, const Group& g,
 
 sim::Task<Message> sendrecv(NxContext& ctx, int partner, int tag,
                             Bytes bytes, Payload payload) {
-  CollectiveTimer timer(ctx, "sendrecv");
+  CollectiveTimer timer(ctx, CollectiveKind::Sendrecv);
   // Buffered sends make send-then-recv deadlock-free on both sides.
   co_await ctx.send(partner, tag, bytes, std::move(payload));
   co_return co_await ctx.recv(partner, tag);

@@ -23,6 +23,44 @@ const proc::MachineConfig& NxContext::config() const {
   return machine_->config();
 }
 
+void NxContext::record_send(int dst, int tag, Bytes bytes,
+                            const Payload& payload) {
+  if (dst > 0xffff || tag < 0) {
+    recorder_->invalidate();
+    return;
+  }
+  const std::uint8_t aux =
+      (payload.has_values() || payload.is_sized()) ? 1 : 0;
+  recorder_->ops.push_back(SkelOp{SkelOp::Send, aux,
+                                  static_cast<std::uint16_t>(dst),
+                                  static_cast<std::uint32_t>(tag), bytes});
+}
+
+void NxContext::record_recv(int src, int tag) {
+  if (src < kAnySource || tag < kAnyTag || tag == kAnyTag) {
+    // kAnyTag receives would need arrival-dependent matching on replay.
+    recorder_->invalidate();
+    return;
+  }
+  recorder_->ops.push_back(SkelOp{SkelOp::Recv, 0, 0,
+                                  static_cast<std::uint32_t>(src + 1),
+                                  static_cast<std::uint64_t>(tag)});
+}
+
+void NxContext::record_compute(proc::Kernel k, std::int64_t m, std::int64_t n,
+                               std::int64_t p) {
+  constexpr std::int64_t kMax32 = 0xffffffffll;
+  if (m < 0 || n < 0 || p < 0 || m > kMax32 || n > kMax32 || p > kMax32) {
+    recorder_->invalidate();
+    return;
+  }
+  recorder_->ops.push_back(
+      SkelOp{SkelOp::Compute, static_cast<std::uint8_t>(k), 0,
+             static_cast<std::uint32_t>(p),
+             (static_cast<std::uint64_t>(m) << 32) |
+                 static_cast<std::uint64_t>(n)});
+}
+
 void NxContext::launch_message(int dst, int tag, Bytes bytes,
                                Payload payload, sim::Time depart) {
   auto& eng = machine_->engine();
@@ -72,6 +110,7 @@ void NxContext::launch_message(int dst, int tag, Bytes bytes,
 sim::Task<> NxContext::send(int dst, int tag, Bytes bytes, Payload payload) {
   HPCCSIM_EXPECTS(dst >= 0 && dst < nodes());
   HPCCSIM_EXPECTS(tag >= 0);
+  if (recorder_) record_send(dst, tag, bytes, payload);
   auto& eng = machine_->engine();
   const sim::Time start = eng.now();
 
@@ -87,6 +126,7 @@ sim::Task<> NxContext::send(int dst, int tag, Bytes bytes, Payload payload) {
 Request NxContext::isend(int dst, int tag, Bytes bytes, Payload payload) {
   HPCCSIM_EXPECTS(dst >= 0 && dst < nodes());
   HPCCSIM_EXPECTS(tag >= 0);
+  if (recorder_) recorder_->invalidate();  // replay models csend/crecv only
   auto& eng = machine_->engine();
   auto state = std::make_shared<detail::RequestState>(eng);
 
@@ -106,6 +146,7 @@ Request NxContext::isend(int dst, int tag, Bytes bytes, Payload payload) {
 }
 
 Request NxContext::irecv(int src, int tag) {
+  if (recorder_) recorder_->invalidate();  // replay models csend/crecv only
   auto& eng = machine_->engine();
   auto state = std::make_shared<detail::RequestState>(eng);
   // A helper process posts the receive immediately (so matching order
@@ -140,6 +181,7 @@ sim::Task<> NxContext::send_values(int dst, int tag,
 }
 
 sim::Task<Message> NxContext::recv(int src, int tag) {
+  if (recorder_) record_recv(src, tag);
   auto& eng = machine_->engine();
   const sim::Time start = eng.now();
   Message m = co_await mailbox_.recv(src, tag);
@@ -151,6 +193,7 @@ sim::Task<Message> NxContext::recv(int src, int tag) {
 
 sim::Task<std::optional<Message>> NxContext::recv_abortable(
     int src, int tag, sim::Trigger& abort) {
+  if (recorder_) recorder_->invalidate();  // abort races are not replayable
   auto& eng = machine_->engine();
   const sim::Time start = eng.now();
   std::optional<Message> m = co_await mailbox_.recv_or_abort(src, tag, abort);
@@ -161,10 +204,14 @@ sim::Task<std::optional<Message>> NxContext::recv_abortable(
   co_return m;
 }
 
-bool NxContext::probe(int src, int tag) { return mailbox_.probe(src, tag); }
+bool NxContext::probe(int src, int tag) {
+  if (recorder_) recorder_->invalidate();  // probe-driven control flow
+  return mailbox_.probe(src, tag);
+}
 
 sim::Task<> NxContext::compute(proc::Kernel k, std::int64_t m,
                                std::int64_t n, std::int64_t p) {
+  if (recorder_) record_compute(k, m, n, p);
   const sim::Time t = config().node.time_for(k, m, n, p);
   stats_.flops_charged += proc::kernel_flops(k, m, n, p);
   stats_.compute_time += t;
@@ -172,6 +219,10 @@ sim::Task<> NxContext::compute(proc::Kernel k, std::int64_t m,
 }
 
 sim::Task<> NxContext::busy(sim::Time t) {
+  if (recorder_)
+    recorder_->ops.push_back(
+        SkelOp{SkelOp::Busy, 0, 0, 0,
+               static_cast<std::uint64_t>(t.picoseconds())});
   stats_.compute_time += t;
   co_await machine_->engine().delay(t);
 }

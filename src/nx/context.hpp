@@ -21,6 +21,7 @@
 #include "nx/mailbox.hpp"
 #include "nx/message.hpp"
 #include "nx/request.hpp"
+#include "nx/skeleton.hpp"
 #include "proc/machine.hpp"
 
 namespace hpccsim::nx {
@@ -106,17 +107,37 @@ class NxContext {
 
   Mailbox& mailbox() { return mailbox_; }
 
+  /// Attach (or detach, with nullptr) a skeleton recorder: every
+  /// subsequent send/recv/compute/busy appends one SkelOp. Recording is
+  /// observation-only — it never changes engine-visible behaviour —
+  /// and ops the replayer cannot model (isend/irecv/probe/waitall/
+  /// recv_abortable) invalidate the recording instead of lying.
+  void set_skeleton_recorder(SkeletonRecorder* rec) { recorder_ = rec; }
+  SkeletonRecorder* skeleton_recorder() const { return recorder_; }
+  /// Record a named instant (replayed as "read the clock here").
+  void skeleton_mark(std::uint8_t id) {
+    if (recorder_)
+      recorder_->ops.push_back(SkelOp{SkelOp::MarkTime, id, 0, 0, 0});
+  }
+
  private:
   /// The actual network handoff shared by send/isend: reserves the
   /// route from `depart` and schedules delivery at the destination.
   void launch_message(int dst, int tag, Bytes bytes, Payload payload,
                       sim::Time depart);
 
+  // Cold-path recording helpers (context.cpp).
+  void record_send(int dst, int tag, Bytes bytes, const Payload& payload);
+  void record_recv(int src, int tag);
+  void record_compute(proc::Kernel k, std::int64_t m, std::int64_t n,
+                      std::int64_t p);
+
   NxMachine* machine_;
   int rank_;
   Mailbox mailbox_;
   NodeStats stats_;
   std::map<int, int> collective_seq_;
+  SkeletonRecorder* recorder_ = nullptr;
   /// Message co-processor horizon: when the next isend can start.
   sim::Time send_coproc_free_;
 };

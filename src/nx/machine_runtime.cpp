@@ -22,6 +22,17 @@ NxMachine::NxMachine(proc::MachineConfig config, NetKind net)
   contexts_.reserve(static_cast<std::size_t>(config_.node_count()));
   for (int r = 0; r < config_.node_count(); ++r)
     contexts_.push_back(std::make_unique<NxContext>(*this, r));
+  const detail::PayloadPoolStats& ps = detail::payload_pool_stats();
+  payload_base_values_ = ps.acquires;
+  payload_base_sized_ = ps.sized_acquires;
+}
+
+obs::Histogram& NxMachine::collective_histogram(CollectiveKind k) {
+  obs::Histogram*& slot = coll_hist_[static_cast<std::size_t>(k)];
+  if (!slot)
+    slot = &registry_.histogram(std::string("nx.collective.") +
+                                collective_name(k) + ".ns");
+  return *slot;
 }
 
 sim::Time NxMachine::run(const Program& program) {
@@ -82,6 +93,9 @@ obs::Registry& NxMachine::snapshot_counters() {
   set("nx.send_wait.ns", static_cast<std::uint64_t>(total.send_wait.as_ns()));
   set("nx.recv_wait.ns", static_cast<std::uint64_t>(total.recv_wait.as_ns()));
   set("nx.messages_dropped", messages_dropped_);
+  const detail::PayloadPoolStats& ps = detail::payload_pool_stats();
+  set("nx.payload.pool.values", ps.acquires - payload_base_values_);
+  set("nx.payload.pool.sized", ps.sized_acquires - payload_base_sized_);
   set("proc.nodes", static_cast<std::uint64_t>(config_.node_count()));
   set("proc.nodes_down", static_cast<std::uint64_t>(
                              node_state_.node_count() - node_state_.up_count()));

@@ -2,6 +2,7 @@
 // contexts) from a MachineConfig and runs an SPMD program on it.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
@@ -82,6 +83,12 @@ class NxMachine {
   obs::Registry& counters() { return registry_; }
   const obs::Registry& counters() const { return registry_; }
 
+  /// Per-kind collective latency histogram ("nx.collective.<name>.ns"),
+  /// cached by enum so the collective hot path never rebuilds the name
+  /// string. Lazy: a kind never invoked adds no histogram to the dump,
+  /// keeping registry JSON identical to the pre-cache behaviour.
+  obs::Histogram& collective_histogram(CollectiveKind k);
+
   /// Pull engine/network/node/CFS-independent totals into counters()
   /// under their catalog names (docs/METRICS.md) and return it. Safe to
   /// call repeatedly — snapshotted values are set, not re-added.
@@ -112,6 +119,12 @@ class NxMachine {
   std::vector<std::unique_ptr<NxContext>> contexts_;
   proc::NodeStateTable node_state_;
   obs::Registry registry_;
+  std::array<obs::Histogram*, kCollectiveKindCount> coll_hist_{};
+  // Payload-pool acquire counts at machine construction: the pool is
+  // thread-local and outlives machines, so per-machine counters are
+  // deltas against this baseline (deterministic; see nx/payload.cpp).
+  std::uint64_t payload_base_values_ = 0;
+  std::uint64_t payload_base_sized_ = 0;
   obs::TraceWriter* trace_writer_ = nullptr;
   FaultHooks* fault_hooks_ = nullptr;
   std::uint64_t messages_dropped_ = 0;

@@ -5,15 +5,20 @@
 // receives in posting order. Single-threaded under the simulation engine,
 // so no locking; wakeups are scheduled through the engine for
 // deterministic ordering.
+//
+// Hot-path storage: queued messages and pending receives live in
+// SlotList pools (recycled slots, zero heap traffic after warmup), and
+// the settle flag an abortable receive shares with its abort callback
+// is a pooled, generation-stamped record instead of a per-call
+// shared_ptr — plain recv() never allocates at all, and recv_or_abort
+// only bumps a generation counter.
 #pragma once
 
 #include <coroutine>
-#include <deque>
-#include <list>
-#include <memory>
 #include <optional>
 
 #include "core/engine.hpp"
+#include "core/slot_list.hpp"
 #include "nx/message.hpp"
 
 namespace hpccsim::nx {
@@ -34,18 +39,14 @@ class Mailbox {
       int src;
       int tag;
       Message out;
-      std::list<PendingRecv>::iterator where;
 
-      bool await_ready() {
-        return mb->try_take(src, tag, out);
-      }
+      bool await_ready() { return mb->try_take(src, tag, out); }
       void await_suspend(std::coroutine_handle<> h) {
-        where = mb->recvs_.insert(mb->recvs_.end(),
-                                  PendingRecv{src, tag, &out, h, nullptr});
+        mb->recvs_.push_back(PendingRecv{src, tag, &out, h, kNoGuard});
       }
       Message await_resume() { return std::move(out); }
     };
-    return Awaiter{this, src, tag, {}, {}};
+    return Awaiter{this, src, tag, {}};
   }
 
   /// Awaitable: like recv(), but also resumes (with nullopt) when
@@ -53,6 +54,11 @@ class Mailbox {
   /// fault-tolerance layer so a crash can interrupt a blocked receive.
   /// Ties at the same instant favour the message: a delivery scheduled
   /// at time t settles the receive before the abort callback runs.
+  ///
+  /// The abort guard is pooled: the trigger callback names its guard by
+  /// (slot, generation), and releasing the guard on resume bumps the
+  /// generation, so a callback that fires after the receive settled (or
+  /// after the slot was recycled by a later receive) is a no-op.
   auto recv_or_abort(int src, int tag, sim::Trigger& abort) {
     struct Awaiter {
       Mailbox* mb;
@@ -60,7 +66,7 @@ class Mailbox {
       int tag;
       sim::Trigger* abort;
       Message out;
-      std::shared_ptr<AbortGuard> guard;
+      std::uint32_t guard = kNoGuard;
       bool ready_taken = false;
 
       bool await_ready() {
@@ -71,24 +77,25 @@ class Mailbox {
         return abort->fired();
       }
       void await_suspend(std::coroutine_handle<> h) {
-        guard = std::make_shared<AbortGuard>();
-        auto where = mb->recvs_.insert(
-            mb->recvs_.end(), PendingRecv{src, tag, &out, h, guard});
+        guard = mb->acquire_guard();
+        const std::uint32_t gen = mb->guards_[guard].gen;
+        const std::uint32_t where =
+            mb->recvs_.push_back(PendingRecv{src, tag, &out, h, guard});
         Mailbox* box = mb;
-        abort->on_fire([box, g = guard, where, h] {
-          if (g->settled) return;  // delivery won the race
-          g->settled = true;
-          box->recvs_.erase(where);
-          box->engine_->schedule(box->engine_->now(), h);
+        const std::uint32_t gid = guard;
+        abort->on_fire([box, gid, gen, where, h] {
+          box->abort_pending(gid, gen, where, h);
         });
       }
       std::optional<Message> await_resume() {
-        if (ready_taken || (guard && guard->delivered))
-          return std::move(out);
+        if (ready_taken) return std::move(out);
+        // No guard means await_ready saw the trigger already fired.
+        if (guard == kNoGuard) return std::nullopt;
+        if (mb->release_guard(guard)) return std::move(out);
         return std::nullopt;
       }
     };
-    return Awaiter{this, src, tag, &abort, {}, nullptr, false};
+    return Awaiter{this, src, tag, &abort, {}, kNoGuard, false};
   }
 
   /// Non-blocking probe: is a matching message queued?
@@ -102,19 +109,22 @@ class Mailbox {
   std::size_t waiting_receivers() const { return recvs_.size(); }
 
  private:
+  static constexpr std::uint32_t kNoGuard = 0xffffffffu;
+
   /// Shared between an abortable pending receive and the abort
   /// trigger's callback; whichever settles first wins, the loser no-ops.
   struct AbortGuard {
+    std::uint32_t gen = 0;  ///< bumped on release; stale callbacks no-op
     bool settled = false;
     bool delivered = false;
   };
 
   struct PendingRecv {
-    int src;
-    int tag;
-    Message* out;
+    int src = 0;
+    int tag = 0;
+    Message* out = nullptr;
     std::coroutine_handle<> handle;
-    std::shared_ptr<AbortGuard> guard;  ///< null for plain recv()
+    std::uint32_t guard = kNoGuard;  ///< abort-guard slot for recv_or_abort
   };
 
   static bool matches(const Message& m, int src, int tag) {
@@ -123,10 +133,19 @@ class Mailbox {
   }
 
   bool try_take(int src, int tag, Message& out);
+  std::uint32_t acquire_guard();
+  /// Returns whether a delivery settled the guard; recycles the slot.
+  bool release_guard(std::uint32_t gid);
+  /// Abort-trigger callback body: settle the receive as aborted unless
+  /// a delivery already won or the guard generation moved on.
+  void abort_pending(std::uint32_t gid, std::uint32_t gen,
+                     std::uint32_t where, std::coroutine_handle<> h);
 
   sim::Engine* engine_;
-  std::deque<Message> msgs_;
-  std::list<PendingRecv> recvs_;
+  sim::SlotList<Message> msgs_;
+  sim::SlotList<PendingRecv> recvs_;
+  std::vector<AbortGuard> guards_;
+  std::vector<std::uint32_t> free_guards_;
 };
 
 }  // namespace hpccsim::nx

@@ -2,19 +2,142 @@
 //
 // A message always has a byte size (it drives the network timing model)
 // and may carry a payload of doubles. In the linear-algebra "modeled"
-// execution mode, payloads are absent: the message sizes and schedule are
-// identical, only the arithmetic is skipped. Payloads are shared_ptr so a
-// broadcast can fan one buffer out without copies.
+// execution mode, payloads carry no values: the message sizes and
+// schedule are identical, only the arithmetic is skipped.
+//
+// Payload is an 8-byte ref-counted handle onto a pooled record
+// (src/nx/payload.cpp): a broadcast fans one buffer out without copies
+// (like the shared_ptr it replaced), and releasing the last reference
+// returns the record to a thread-local free list instead of the heap.
+// Size-only payloads — the modeled-mode hot path — therefore touch
+// malloc zero times after warmup; value-carrying payloads still own a
+// real std::vector<double> (numeric mode is unchanged).
+//
+// The handle is a single pointer on purpose: Message stays 24 bytes, so
+// the per-delivery engine callback capture in NxContext::launch_message
+// keeps fitting the 48-byte inline buffer (no allocation per message).
 #pragma once
 
-#include <memory>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/units.hpp"
 
 namespace hpccsim::nx {
 
-using Payload = std::shared_ptr<const std::vector<double>>;
+namespace detail {
+
+/// Pooled backing store of one payload. `refs` is a plain counter —
+/// payloads never cross engine threads (docs/MODEL.md §8).
+struct PayloadRec {
+  std::uint32_t refs = 0;
+  bool has_values = false;
+  std::size_t count = 0;        ///< element count of a size-only payload
+  std::vector<double> values;   ///< empty (capacity recycled) when size-only
+};
+
+/// Thread-local free-list acquire/release (src/nx/payload.cpp).
+PayloadRec* payload_acquire(bool sized);
+void payload_release(PayloadRec* rec);
+
+/// Pool telemetry. `acquires`/`sized_acquires` count payload
+/// constructions and are simulation-deterministic; `heap_allocs` and
+/// `peak_live` depend on the thread's allocation history (free-list
+/// warmth) and must not be exported into deterministic registries.
+struct PayloadPoolStats {
+  std::uint64_t acquires = 0;        ///< value-carrying payloads built
+  std::uint64_t sized_acquires = 0;  ///< size-only payloads built
+  std::uint64_t heap_allocs = 0;     ///< free-list misses (new record)
+  std::uint64_t live = 0;            ///< records currently checked out
+};
+const PayloadPoolStats& payload_pool_stats();
+
+}  // namespace detail
+
+/// Shared value the modeled fast path returns for "no values": a
+/// namespace-level constant, so Message::values() carries no
+/// function-local static-init guard.
+inline const std::vector<double> kNoPayloadValues{};
+
+/// Ref-counted message payload. Three states:
+///   - null (default): no payload at all;
+///   - sized: an element count only (modeled mode) — pooled, alloc-free;
+///   - values: a real vector of doubles (numeric mode).
+/// The boolean conversion and nullptr comparison test for *values*,
+/// matching the previous shared_ptr semantics, so `if (payload)` guards
+/// around dereferences keep working and sized payloads take the
+/// modeled-mode branch everywhere.
+class Payload {
+ public:
+  Payload() = default;
+  Payload(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Payload(const Payload& o) : rec_(o.rec_) {
+    if (rec_) ++rec_->refs;
+  }
+  Payload(Payload&& o) noexcept : rec_(o.rec_) { o.rec_ = nullptr; }
+  Payload& operator=(const Payload& o) {
+    Payload tmp(o);
+    std::swap(rec_, tmp.rec_);
+    return *this;
+  }
+  Payload& operator=(Payload&& o) noexcept {
+    std::swap(rec_, o.rec_);
+    return *this;
+  }
+  ~Payload() { reset(); }
+
+  void reset() {
+    if (rec_ && --rec_->refs == 0) detail::payload_release(rec_);
+    rec_ = nullptr;
+  }
+
+  /// A payload carrying real values.
+  static Payload values(std::vector<double> v) {
+    Payload p;
+    p.rec_ = detail::payload_acquire(/*sized=*/false);
+    p.rec_->has_values = true;
+    p.rec_->values = std::move(v);
+    return p;
+  }
+
+  /// A size-only payload of `elements` doubles (modeled mode): records
+  /// the shape without touching the heap after warmup.
+  static Payload sized(std::size_t elements) {
+    Payload p;
+    p.rec_ = detail::payload_acquire(/*sized=*/true);
+    p.rec_->count = elements;
+    return p;
+  }
+
+  /// True when the payload carries values (sized payloads are falsy, so
+  /// existing modeled-mode guards skip the arithmetic).
+  explicit operator bool() const { return rec_ && rec_->has_values; }
+  bool has_values() const { return rec_ && rec_->has_values; }
+  bool is_sized() const { return rec_ && !rec_->has_values; }
+
+  /// Element count: values size, or the recorded count when size-only.
+  std::size_t elements() const {
+    if (!rec_) return 0;
+    return rec_->has_values ? rec_->values.size() : rec_->count;
+  }
+
+  // shared_ptr-style access to the values (unchecked; guard with
+  // has_values() / operator bool like the old null check).
+  const std::vector<double>& operator*() const { return rec_->values; }
+  const std::vector<double>* operator->() const { return &rec_->values; }
+
+  friend bool operator==(const Payload& p, std::nullptr_t) {
+    return !p.has_values();
+  }
+  friend bool operator==(std::nullptr_t, const Payload& p) {
+    return !p.has_values();
+  }
+
+ private:
+  detail::PayloadRec* rec_ = nullptr;
+};
 
 /// Wildcard for recv filters.
 inline constexpr int kAnySource = -1;
@@ -24,18 +147,17 @@ struct Message {
   int src = -1;
   int tag = 0;
   Bytes bytes = 0;
-  Payload payload;  ///< may be null (shape-only message)
+  Payload payload;  ///< may be null or size-only (shape-only message)
 
   /// Convenience: payload values (empty if shape-only).
   const std::vector<double>& values() const {
-    static const std::vector<double> kEmpty;
-    return payload ? *payload : kEmpty;
+    return payload.has_values() ? *payload : kNoPayloadValues;
   }
 };
 
 /// Build a payload from values.
 inline Payload make_payload(std::vector<double> v) {
-  return std::make_shared<const std::vector<double>>(std::move(v));
+  return Payload::values(std::move(v));
 }
 
 /// Build a payload from scalars: payload_of(1.0, 2.0).

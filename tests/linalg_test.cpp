@@ -359,6 +359,142 @@ TEST(DistLu, GridMustMatchMachine) {
   EXPECT_THROW(run_distributed_lu(machine, cfg), ContractError);
 }
 
+// ------------------------------------------------------ skeleton cache --
+
+namespace {
+
+proc::MachineConfig skel_machine_config() {
+  proc::MachineConfig mc = proc::touchstone_delta();
+  mc.mesh_width = 3;
+  mc.mesh_height = 2;
+  return mc;
+}
+
+LuConfig skel_lu_config() {
+  LuConfig cfg;
+  cfg.n = 192;
+  cfg.nb = 16;
+  cfg.grid = ProcessGrid{2, 3};
+  cfg.mode = ExecMode::Modeled;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(LuSkeleton, RecordingIsInvisible) {
+  // A derived run must behave byte-identically whether or not recorders
+  // are attached: recording is observation-only.
+  const LuConfig cfg = skel_lu_config();
+  nx::NxMachine plain(skel_machine_config());
+  const LuResult a = run_distributed_lu(plain, cfg);
+
+  nx::NxMachine recorded(skel_machine_config());
+  LuResult b;
+  auto skel = derive_lu_skeleton(recorded, cfg, &b);
+  ASSERT_NE(skel, nullptr);
+  EXPECT_GT(skel->total_ops(), 0u);
+
+  EXPECT_EQ(a.elapsed.picoseconds(), b.elapsed.picoseconds());
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bytes_moved, b.bytes_moved);
+  EXPECT_EQ(a.flops_charged, b.flops_charged);
+  EXPECT_EQ(a.compute_time.picoseconds(), b.compute_time.picoseconds());
+  EXPECT_EQ(plain.engine().events_processed(),
+            recorded.engine().events_processed());
+}
+
+TEST(LuSkeleton, ReplayMatchesDerivedExactly) {
+  const LuConfig cfg = skel_lu_config();
+  nx::NxMachine derived_m(skel_machine_config());
+  LuResult derived;
+  auto skel = derive_lu_skeleton(derived_m, cfg, &derived);
+  ASSERT_NE(skel, nullptr);
+
+  nx::NxMachine replay_m(skel_machine_config());
+  const LuResult replayed = replay_lu_skeleton(replay_m, cfg, *skel);
+
+  // Identical engine event stream => identical timings and counters.
+  EXPECT_EQ(derived.elapsed.picoseconds(), replayed.elapsed.picoseconds());
+  EXPECT_EQ(derived.messages, replayed.messages);
+  EXPECT_EQ(derived.bytes_moved, replayed.bytes_moved);
+  EXPECT_EQ(derived.flops_charged, replayed.flops_charged);
+  EXPECT_EQ(derived.compute_time.picoseconds(),
+            replayed.compute_time.picoseconds());
+  EXPECT_EQ(derived_m.engine().events_processed(),
+            replay_m.engine().events_processed());
+
+  derived_m.snapshot_counters();
+  replay_m.snapshot_counters();
+  for (const char* name :
+       {"core.engine.events", "core.engine.calls_scheduled", "nx.sends",
+        "nx.recvs", "nx.bytes_sent", "nx.flops_charged", "nx.compute.ns",
+        "nx.send_wait.ns", "nx.recv_wait.ns", "mesh.messages",
+        "mesh.stalls", "mesh.reroutes"}) {
+    EXPECT_EQ(derived_m.counters().value(name), replay_m.counters().value(name))
+        << name;
+  }
+  // Collective latency histograms replay row-for-row.
+  for (const char* name :
+       {"nx.collective.barrier.ns", "nx.collective.allreduce.ns",
+        "nx.collective.reduce.ns", "nx.collective.bcast.ns"}) {
+    obs::Histogram& d = derived_m.counters().histogram(name);
+    obs::Histogram& r = replay_m.counters().histogram(name);
+    EXPECT_EQ(d.count(), r.count()) << name;
+    EXPECT_EQ(d.sum(), r.sum()) << name;
+    EXPECT_EQ(d.min(), r.min()) << name;
+    EXPECT_EQ(d.max(), r.max()) << name;
+  }
+  // Replay provenance counters exist only on the replay machine.
+  EXPECT_EQ(derived_m.counters().value("lu.skeleton.replays"), 0);
+  EXPECT_EQ(replay_m.counters().value("lu.skeleton.replays"), 1);
+  EXPECT_EQ(replay_m.counters().value("lu.skeleton.replayed_ops"),
+            static_cast<std::int64_t>(skel->total_ops()));
+}
+
+TEST(LuSkeleton, AutoModeDerivesOnceThenReplays) {
+  clear_lu_skeleton_cache();
+  LuConfig cfg = skel_lu_config();
+  cfg.skeleton = SkeletonMode::Auto;
+
+  nx::NxMachine first(skel_machine_config());
+  const LuResult a = run_distributed_lu(first, cfg);
+  EXPECT_EQ(lu_skeleton_cache_size(), 1u);
+  EXPECT_EQ(first.counters().value("lu.skeleton.replays"), 0);
+
+  nx::NxMachine second(skel_machine_config());
+  const LuResult b = run_distributed_lu(second, cfg);
+  EXPECT_EQ(lu_skeleton_cache_size(), 1u);
+  EXPECT_EQ(second.counters().value("lu.skeleton.replays"), 1);
+
+  EXPECT_EQ(a.elapsed.picoseconds(), b.elapsed.picoseconds());
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bytes_moved, b.bytes_moved);
+  clear_lu_skeleton_cache();
+  EXPECT_EQ(lu_skeleton_cache_size(), 0u);
+}
+
+TEST(LuSkeleton, ReplayUnderDifferentNodeModelRetimesSchedule) {
+  // The schedule never reads the clock, so one skeleton replays validly
+  // under any NodeModel — the basis of kernel-efficiency calibration.
+  const LuConfig cfg = skel_lu_config();
+  nx::NxMachine derived_m(skel_machine_config());
+  LuResult derived;
+  auto skel = derive_lu_skeleton(derived_m, cfg, &derived);
+  ASSERT_NE(skel, nullptr);
+
+  proc::MachineConfig fast = skel_machine_config();
+  fast.node.gemm_efficiency = std::min(1.0, fast.node.gemm_efficiency * 1.5);
+  nx::NxMachine fast_m(fast);
+  const LuResult retimed = replay_lu_skeleton(fast_m, cfg, *skel);
+
+  // Same traffic, faster kernels, higher delivered GFLOPS.
+  EXPECT_EQ(derived.messages, retimed.messages);
+  EXPECT_EQ(derived.bytes_moved, retimed.bytes_moved);
+  EXPECT_EQ(derived.flops_charged, retimed.flops_charged);
+  EXPECT_LT(retimed.elapsed.picoseconds(), derived.elapsed.picoseconds());
+  EXPECT_GT(retimed.gflops, derived.gflops);
+}
+
 // ----------------------------------------------------------------- summa --
 
 class SummaGrids : public ::testing::TestWithParam<DistCase> {};

@@ -24,6 +24,11 @@ import pathlib
 import sys
 
 
+# Simulation-deterministic headline metrics gated at the sim tolerance:
+# the fig1 n=25,000 operating point ("13 GFLOPS ... OF ORDER 25,000").
+GATED_METRICS = ("gflops_n25000", "sim_time_n25000_s")
+
+
 def load_metrics(metrics_dir: pathlib.Path) -> dict:
     current = {}
     for path in sorted(metrics_dir.glob("*.json")):
@@ -34,10 +39,16 @@ def load_metrics(metrics_dir: pathlib.Path) -> dict:
         if doc.get("schema_version") not in (1, 2):
             sys.exit(f"FAIL {path}: unknown schema_version "
                      f"{doc.get('schema_version')!r}")
-        current[doc["bench"]] = {
+        entry = {
             "sim_time_s": doc.get("sim_time_s", 0.0),
             "wall_time_s": doc.get("wall_time_s", 0.0),
         }
+        # Named deterministic headline metrics are gated like sim_time_s
+        # (the paper's n=25,000 point must not drift silently).
+        for key in GATED_METRICS:
+            if key in doc.get("metrics", {}):
+                entry[key] = doc["metrics"][key]
+        current[doc["bench"]] = entry
     if not current:
         sys.exit(f"FAIL: no *.json metrics found in {metrics_dir}")
     return current
@@ -95,6 +106,23 @@ def main() -> int:
             status = "ok" if sim_drift == 0.0 else f"drift {sim_drift:.2%}"
             print(f"ok   {bench}: sim_time_s {new['sim_time_s']:.6g} "
                   f"({status})")
+
+        for key in GATED_METRICS:
+            if key not in old and key not in new:
+                continue
+            if (key in old) != (key in new):
+                failures.append(f"{bench}: {key} "
+                                f"{'dropped from' if key in old else 'new in'}"
+                                f" this run (re-baseline with --update)")
+                continue
+            drift = rel_drift(new[key], old[key])
+            if drift > args.sim_tolerance:
+                failures.append(
+                    f"{bench}: {key} {old[key]:.6g} -> {new[key]:.6g} "
+                    f"({drift:+.1%} drift, tolerance "
+                    f"{args.sim_tolerance:.0%})")
+            else:
+                print(f"ok   {bench}: {key} {new[key]:.6g}")
 
         wall_drift = rel_drift(new["wall_time_s"], old["wall_time_s"])
         if wall_drift > args.wall_warn:
