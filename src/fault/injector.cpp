@@ -140,9 +140,10 @@ std::string FaultInjector::trace_csv() const {
 
 void FaultInjector::set_trace(std::vector<FaultEvent> trace) {
   HPCCSIM_EXPECTS(!armed_);
-  HPCCSIM_EXPECTS(std::is_sorted(
-      trace.begin(), trace.end(),
-      [](const FaultEvent& x, const FaultEvent& y) { return x.when < y.when; }));
+  HPCCSIM_EXPECTS(std::is_sorted(trace.begin(), trace.end(),
+                                 [](const FaultEvent& x, const FaultEvent& y) {
+                                   return x.when < y.when;
+                                 }));
   trace_ = std::move(trace);
 }
 
@@ -172,7 +173,8 @@ void FaultInjector::apply(const FaultEvent& ev) {
       if (obs::TraceWriter* tw = machine_->trace_writer())
         tw->instant(ev.a, "crash", "fault", now);
       // The node's memory is gone: undelivered messages with it.
-      const std::size_t purged = machine_->context(ev.a).mailbox().drop_queued();
+      const std::size_t purged =
+          machine_->context(ev.a).mailbox().drop_queued();
       purged_ += purged;
       for (std::size_t i = 0; i < purged; ++i)
         machine_->note_dropped_message();

@@ -8,6 +8,7 @@
 
 #include "sched/batch.hpp"
 #include "sched/partition.hpp"
+#include "util/parallel.hpp"
 
 namespace hpccsim::sched {
 namespace {
@@ -130,6 +131,90 @@ TEST(Partition, DeltaSizedMachine) {
   EXPECT_FALSE(a.allocate(8, 8).has_value());  // only a 1-wide strip left
   for (const auto p : ps) a.release(p);
   EXPECT_EQ(a.nodes_busy(), 0);
+}
+
+TEST(Partition, RequestsLargerThanMeshAreRejected) {
+  PartitionAllocator a(Mesh2D(8, 4));
+  // 1x6 only fits rotated (6x1); 9x1 fits neither way on an 8x4.
+  const auto rotated = a.allocate(1, 6);
+  ASSERT_TRUE(rotated.has_value());
+  a.release(*rotated);
+  EXPECT_FALSE(a.allocate(9, 1).has_value());
+  EXPECT_FALSE(a.allocate(9, 5).has_value());
+  EXPECT_FALSE(a.allocate(5, 5).has_value());
+  EXPECT_FALSE(a.allocate_nodes(33).has_value());  // 33 is prime: 1x33 only
+  EXPECT_FALSE(a.allocate_nodes(64).has_value());  // more than the machine
+}
+
+TEST(Partition, ExactFitLeavesNothingAndComesBack) {
+  PartitionAllocator a(Mesh2D(6, 5));
+  const auto whole = a.allocate(6, 5);
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(a.nodes_busy(), 30);
+  EXPECT_EQ(a.largest_free_rectangle(), 0);
+  EXPECT_FALSE(a.allocate(1, 1).has_value());
+  EXPECT_DOUBLE_EQ(a.fragmentation(), 0.0);  // no free nodes at all
+  a.release(*whole);
+  EXPECT_EQ(a.largest_free_rectangle(), 30);
+  EXPECT_TRUE(a.allocate(6, 5).has_value());
+}
+
+TEST(Partition, FragmentationThenCoalescing) {
+  PartitionAllocator a(Mesh2D(8, 1));
+  // Four 2-wide strips fill the row; releasing strips 0 and 2 leaves
+  // four free nodes that only form 2-wide holes.
+  std::vector<PartitionId> ps;
+  for (int i = 0; i < 4; ++i) {
+    const auto p = a.allocate(2, 1);
+    ASSERT_TRUE(p.has_value());
+    ps.push_back(*p);
+  }
+  a.release(ps[0]);
+  a.release(ps[2]);
+  EXPECT_EQ(a.largest_free_rectangle(), 2);
+  EXPECT_DOUBLE_EQ(a.fragmentation(), 0.5);  // 2 of 4 free nodes stranded
+  EXPECT_FALSE(a.allocate(4, 1).has_value());
+  // Releasing the separator coalesces holes 0-1 and 2-5 into 0-5.
+  a.release(ps[1]);
+  EXPECT_EQ(a.largest_free_rectangle(), 6);
+  EXPECT_DOUBLE_EQ(a.fragmentation(), 0.0);
+  EXPECT_TRUE(a.allocate(6, 1).has_value());
+}
+
+TEST(Partition, AllocationOrderIsDeterministicAcrossJobs) {
+  // The same allocate/release script replayed on independent
+  // allocators under parallel_for must place every partition at the
+  // same coordinates whatever the worker count (the product's
+  // byte-identical-at-any---jobs contract, at the allocator layer).
+  auto script = [] {
+    PartitionAllocator a(Mesh2D(33, 16));
+    std::vector<Rect> placed;
+    std::vector<PartitionId> live;
+    Rng rng(7);
+    for (int step = 0; step < 200; ++step) {
+      if (!live.empty() && rng.uniform() < 0.35) {
+        const std::size_t i = rng.below(live.size());
+        a.release(live[i]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        const auto w = static_cast<std::int32_t>(rng.range(1, 12));
+        const auto h = static_cast<std::int32_t>(rng.range(1, 8));
+        if (const auto p = a.allocate(w, h)) {
+          placed.push_back(a.rect_of(*p));
+          live.push_back(*p);
+        }
+      }
+    }
+    return placed;
+  };
+  const std::vector<Rect> reference = script();
+  EXPECT_FALSE(reference.empty());
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<std::vector<Rect>> replica(4);
+    parallel_for(replica.size(), static_cast<int>(workers),
+                 [&](std::size_t i) { replica[i] = script(); });
+    for (const auto& r : replica) EXPECT_EQ(r, reference);
+  }
 }
 
 // -------------------------------------------------------------- batch --

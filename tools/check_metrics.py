@@ -25,8 +25,16 @@ import sys
 
 
 # Simulation-deterministic headline metrics gated at the sim tolerance:
-# the fig1 n=25,000 operating point ("13 GFLOPS ... OF ORDER 25,000").
-GATED_METRICS = ("gflops_n25000", "sim_time_n25000_s")
+# the fig1 n=25,000 operating point ("13 GFLOPS ... OF ORDER 25,000"),
+# and the shared-platform month's waste per checkpoint-ordering strategy
+# (the cooperative-vs-Young/Daly comparison must not drift silently).
+GATED_METRICS = (
+    "gflops_n25000",
+    "sim_time_n25000_s",
+    "waste_pct_uncoordinated",
+    "waste_pct_fifo_coop",
+    "waste_pct_ordered_coop",
+)
 
 
 def load_metrics(metrics_dir: pathlib.Path) -> dict:

@@ -48,6 +48,11 @@ run nren_rush_hour
 run grid_rush_hour
 run io_checkpoint --n 10000
 run fault_waste --nodes 16 --work-hours 8
+# A month of space-shared production with interfering checkpoints: the
+# full 1000-job trace (the bench self-checks that a cooperative
+# strategy beats uncoordinated Young/Daly on platform waste, and the
+# waste_pct_* metrics are additionally gated by baselines.json).
+run shared_platform
 
 # The checkpointed-campaign example carries the same --json schema.
 echo "== linpack_checkpointed --runs 2 --mtbf-days 2"
