@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
     rows[i] = {pattern_name(p), Table::num(gap_us, 0),
                Table::num(offered, 2), Table::num(latency_us.mean(), 1),
                Table::num(hist.p95(), 1),
-               Table::num(net.contention_delay_us().mean(), 2)};
+               Table::num(net.contention_mean_us(), 2)};
   });
   for (auto& row : rows) t.add_row(std::move(row));
   std::printf("%s\n", args.flag("csv") ? t.csv().c_str() : t.ascii().c_str());

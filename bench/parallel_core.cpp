@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mesh/flit.hpp"
@@ -188,8 +189,17 @@ int main(int argc, char** argv) {
 
   const double require = args.real("require-speedup");
   if (require > 0.0 && thread_list.size() > 1) {
+    const unsigned hw = std::thread::hardware_concurrency();
     const double speedup = wall_base / wall_best;
-    if (speedup < require) {
+    if (hw < static_cast<unsigned>(max_threads)) {
+      // The sweep oversubscribes this host, so the speedup gate would
+      // only measure scheduling overhead; report the overhead floor
+      // instead of failing (docs/PERF.md).
+      std::fprintf(stderr,
+                   "require-speedup: skipped (host has %u hardware threads, "
+                   "sweep max is %lld); single-core overhead floor %.2fx\n",
+                   hw, static_cast<long long>(max_threads), speedup);
+    } else if (speedup < require) {
       std::fprintf(stderr,
                    "FAIL: speedup %.2fx at max threads below required "
                    "%.2fx\n",

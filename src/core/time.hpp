@@ -33,13 +33,20 @@ class Time {
   constexpr double as_ms() const { return static_cast<double>(ps_) / 1e9; }
   constexpr double as_sec() const { return static_cast<double>(ps_) / 1e12; }
 
-  friend constexpr Time operator+(Time a, Time b) { return Time(a.ps_ + b.ps_); }
+  friend constexpr Time operator+(Time a, Time b) {
+    return Time(a.ps_ + b.ps_);
+  }
   friend constexpr Time operator-(Time a, Time b) {
     HPCCSIM_EXPECTS(a.ps_ >= b.ps_);
     return Time(a.ps_ - b.ps_);
   }
-  constexpr Time& operator+=(Time b) { ps_ += b.ps_; return *this; }
-  friend constexpr Time operator*(Time a, std::uint64_t k) { return Time(a.ps_ * k); }
+  constexpr Time& operator+=(Time b) {
+    ps_ += b.ps_;
+    return *this;
+  }
+  friend constexpr Time operator*(Time a, std::uint64_t k) {
+    return Time(a.ps_ * k);
+  }
   friend constexpr Time operator*(std::uint64_t k, Time a) { return a * k; }
 
   friend constexpr auto operator<=>(Time a, Time b) = default;

@@ -62,7 +62,10 @@ sim::Time AnalyticalMeshNet::transfer(NodeId src, NodeId dst, Bytes bytes,
   for (const LinkId l : route)
     start = std::max(start, link_free_at_[static_cast<std::size_t>(l)]);
 
-  contention_us_.add((start - depart).as_us());
+  const sim::Time queued = start - depart;
+  contention_ps_sum_ += static_cast<std::int64_t>(queued.picoseconds());
+  ++contention_count_;
+  contention_max_ = std::max(contention_max_, queued);
 
   const sim::Time busy_until = start + ser;
   for (const LinkId l : route)
@@ -80,7 +83,9 @@ void AnalyticalMeshNet::reset() {
   reroutes_ = 0;
   stalls_ = 0;
   messages_ = 0;
-  contention_us_ = RunningStat{};
+  contention_ps_sum_ = 0;
+  contention_count_ = 0;
+  contention_max_ = sim::Time::zero();
 }
 
 }  // namespace hpccsim::mesh

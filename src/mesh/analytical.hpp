@@ -21,7 +21,6 @@
 #include "core/time.hpp"
 #include "mesh/netmodel.hpp"
 #include "mesh/topology.hpp"
-#include "util/stats.hpp"
 #include "util/units.hpp"
 
 namespace hpccsim::mesh {
@@ -46,13 +45,33 @@ class AnalyticalMeshNet final : public NetworkModel {
   sim::Time transfer(NodeId src, NodeId dst, Bytes bytes,
                      sim::Time depart) override;
 
+  /// Every transfer pays at least one injection-channel latency: a
+  /// self-send arrives at depart + nic_latency + ser, and a routed
+  /// message at start + 2*nic_latency + hops*per_hop + ser with
+  /// start >= depart. This floor is what makes the parallel engine's
+  /// lookahead window sound on mesh machines.
+  sim::Time min_transfer_latency() const override {
+    return params_.nic_latency;
+  }
+
   std::int32_t node_count() const override { return mesh_.node_count(); }
   const Mesh2D& mesh() const { return mesh_; }
   const AnalyticalParams& params() const { return params_; }
 
   /// Total messages routed and cumulative queueing (contention) delay.
+  /// The accumulator is integer picoseconds, so the mean is independent
+  /// of transfer order — same-picosecond transfers replay in a
+  /// different (but equivalent) order under the rank-band parallel
+  /// engine, and a Welford mean would drift in the last ulp
+  /// (docs/MODEL.md §15).
   std::uint64_t messages_routed() const { return messages_; }
-  const RunningStat& contention_delay_us() const { return contention_us_; }
+  double contention_mean_us() const {
+    return contention_count_ ? static_cast<double>(contention_ps_sum_) /
+                                   static_cast<double>(contention_count_) /
+                                   1e6
+                             : 0.0;
+  }
+  double contention_max_us() const { return contention_max_.as_us(); }
 
   /// Drop all link state (start a fresh experiment on the same object).
   void reset();
@@ -80,7 +99,9 @@ class AnalyticalMeshNet final : public NetworkModel {
   std::uint64_t reroutes_ = 0;
   std::uint64_t stalls_ = 0;
   std::uint64_t messages_ = 0;
-  RunningStat contention_us_;
+  std::int64_t contention_ps_sum_ = 0;
+  std::uint64_t contention_count_ = 0;
+  sim::Time contention_max_;
   // Per-message route scratch (capacity persists: transfer() is the
   // hottest network call and must not allocate after warmup).
   std::vector<LinkId> route_scratch_;

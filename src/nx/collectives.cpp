@@ -48,7 +48,10 @@ class CollectiveTimer {
   ~CollectiveTimer() {
     NxMachine& m = ctx_->machine();
     const sim::Time end = ctx_->now();
-    m.collective_histogram(kind_).record(
+    // Through the context, not the machine: during a parallel run the
+    // context routes this into a band-private registry (merged after
+    // the run), so bands never write the shared registry concurrently.
+    ctx_->collective_histogram(kind_).record(
         static_cast<std::int64_t>((end - start_).as_ns()));
     if (obs::TraceWriter* tw = m.trace_writer())
       tw->complete(ctx_->rank(), collective_name(kind_), "collective",
@@ -320,7 +323,8 @@ sim::Task<Message> allreduce(NxContext& ctx, const Group& g, ReduceOp op,
   }
 
   // Default: binomial reduce to rank_at(0), then binomial bcast.
-  Message red = co_await reduce(ctx, g, root, op, bytes, std::move(contribution));
+  Message red =
+      co_await reduce(ctx, g, root, op, bytes, std::move(contribution));
   // Hoisted out of the co_await expression: GCC 12 double-destroys a ?:
   // temporary materialized inside a co_await'ed call (wrong-code bug),
   // which would free the payload while the network still references it.
@@ -397,7 +401,9 @@ sim::Task<Message> scatter(NxContext& ctx, const Group& g, int root,
                     static_cast<int>(slices.size()) == g.size());
     Payload mine;
     for (int i = 0; i < g.size(); ++i) {
-      Payload p = slices.empty() ? Payload{} : std::move(slices[static_cast<std::size_t>(i)]);
+      Payload p = slices.empty()
+                      ? Payload{}
+                      : std::move(slices[static_cast<std::size_t>(i)]);
       if (g.rank_at(i) == root) {
         mine = std::move(p);
       } else {

@@ -9,18 +9,26 @@
 namespace hpccsim::nx {
 
 NxContext::NxContext(NxMachine& machine, int rank)
-    : machine_(&machine), rank_(rank), mailbox_(machine.engine()) {}
+    : machine_(&machine),
+      rank_(rank),
+      engine_(&machine.engine()),
+      mailbox_(machine.engine()) {}
 
 int NxContext::nodes() const { return machine_->nodes(); }
 
-sim::Time NxContext::now() const {
-  return const_cast<NxMachine*>(machine_)->engine().now();
-}
-
-sim::Engine& NxContext::engine() { return machine_->engine(); }
-
 const proc::MachineConfig& NxContext::config() const {
   return machine_->config();
+}
+
+obs::Histogram& NxContext::collective_histogram(CollectiveKind k) {
+  obs::Histogram*& slot = coll_hist_[static_cast<std::size_t>(k)];
+  if (!slot) {
+    obs::Registry& reg =
+        coll_registry_ ? *coll_registry_ : machine_->counters();
+    slot = &reg.histogram(std::string("nx.collective.") +
+                          collective_name(k) + ".ns");
+  }
+  return *slot;
 }
 
 void NxContext::record_send(int dst, int tag, Bytes bytes,
@@ -63,7 +71,20 @@ void NxContext::record_compute(proc::Kernel k, std::int64_t m, std::int64_t n,
 
 void NxContext::launch_message(int dst, int tag, Bytes bytes,
                                Payload payload, sim::Time depart) {
-  auto& eng = machine_->engine();
+  auto& eng = *engine_;
+  // Parallel window: the NetworkModel's link state is shared across
+  // rank bands, so the handoff is deferred — the coordinator replays
+  // captured intents serially between windows in deterministic order
+  // (src/nx/parallel_engine.cpp). Node-local accounting still happens
+  // here, on the band thread that owns this context.
+  if (intent_sink_) {
+    ++stats_.sends;
+    stats_.bytes_sent += bytes;
+    intent_sink_->push_back(LaunchIntent{
+        static_cast<std::int64_t>(eng.now().picoseconds()), 0, rank_, dst,
+        tag, bytes, depart, std::move(payload)});
+    return;
+  }
   // Hand the message to the network; the model returns the arrival time
   // of the last byte at the destination NIC.
   const sim::Time arrival =
@@ -111,7 +132,7 @@ sim::Task<> NxContext::send(int dst, int tag, Bytes bytes, Payload payload) {
   HPCCSIM_EXPECTS(dst >= 0 && dst < nodes());
   HPCCSIM_EXPECTS(tag >= 0);
   if (recorder_) record_send(dst, tag, bytes, payload);
-  auto& eng = machine_->engine();
+  auto& eng = *engine_;
   const sim::Time start = eng.now();
 
   // csend: the CPU drives the send — software overhead blocks the node.
@@ -127,7 +148,7 @@ Request NxContext::isend(int dst, int tag, Bytes bytes, Payload payload) {
   HPCCSIM_EXPECTS(dst >= 0 && dst < nodes());
   HPCCSIM_EXPECTS(tag >= 0);
   if (recorder_) recorder_->invalidate();  // replay models csend/crecv only
-  auto& eng = machine_->engine();
+  auto& eng = *engine_;
   auto state = std::make_shared<detail::RequestState>(eng);
 
   // Offloaded: departure queues behind earlier posted sends.
@@ -147,7 +168,7 @@ Request NxContext::isend(int dst, int tag, Bytes bytes, Payload payload) {
 
 Request NxContext::irecv(int src, int tag) {
   if (recorder_) recorder_->invalidate();  // replay models csend/crecv only
-  auto& eng = machine_->engine();
+  auto& eng = *engine_;
   auto state = std::make_shared<detail::RequestState>(eng);
   // A helper process posts the receive immediately (so matching order
   // is the posting order) and completes the request once the message
@@ -182,7 +203,7 @@ sim::Task<> NxContext::send_values(int dst, int tag,
 
 sim::Task<Message> NxContext::recv(int src, int tag) {
   if (recorder_) record_recv(src, tag);
-  auto& eng = machine_->engine();
+  auto& eng = *engine_;
   const sim::Time start = eng.now();
   Message m = co_await mailbox_.recv(src, tag);
   co_await eng.delay(config().recv_overhead);
@@ -194,7 +215,7 @@ sim::Task<Message> NxContext::recv(int src, int tag) {
 sim::Task<std::optional<Message>> NxContext::recv_abortable(
     int src, int tag, sim::Trigger& abort) {
   if (recorder_) recorder_->invalidate();  // abort races are not replayable
-  auto& eng = machine_->engine();
+  auto& eng = *engine_;
   const sim::Time start = eng.now();
   std::optional<Message> m = co_await mailbox_.recv_or_abort(src, tag, abort);
   if (!m) co_return std::nullopt;
@@ -215,7 +236,7 @@ sim::Task<> NxContext::compute(proc::Kernel k, std::int64_t m,
   const sim::Time t = config().node.time_for(k, m, n, p);
   stats_.flops_charged += proc::kernel_flops(k, m, n, p);
   stats_.compute_time += t;
-  co_await machine_->engine().delay(t);
+  co_await engine_->delay(t);
 }
 
 sim::Task<> NxContext::busy(sim::Time t) {
@@ -224,7 +245,7 @@ sim::Task<> NxContext::busy(sim::Time t) {
         SkelOp{SkelOp::Busy, 0, 0, 0,
                static_cast<std::uint64_t>(t.picoseconds())});
   stats_.compute_time += t;
-  co_await machine_->engine().delay(t);
+  co_await engine_->delay(t);
 }
 
 }  // namespace hpccsim::nx

@@ -4,8 +4,8 @@ namespace hpccsim::nx {
 
 void Mailbox::deliver(Message m) {
   // Hand to the earliest-posted matching receive, if any.
-  for (std::uint32_t id = recvs_.first(); id != sim::SlotList<PendingRecv>::npos;
-       id = recvs_.next(id)) {
+  for (std::uint32_t id = recvs_.first();
+       id != sim::SlotList<PendingRecv>::npos; id = recvs_.next(id)) {
     PendingRecv& r = recvs_[id];
     if (matches(m, r.src, r.tag)) {
       if (r.guard != kNoGuard) {

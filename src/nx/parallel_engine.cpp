@@ -1,0 +1,377 @@
+// Rank-band sharded engine (see parallel_engine.hpp and docs/MODEL.md
+// §15 for the model-level correctness argument).
+//
+// Thread architecture: one persistent process-wide worker pool (workers
+// are created on demand, parked on a BurstGate between commands, and
+// live until process exit). Band 0 always runs on the coordinating
+// thread, so a machine that only ever needs one band pays no
+// synchronization at all, and band 0's payload/frame pools are the
+// machine thread's own. A run is three command kinds:
+//
+//   Start   create each band's Engine, rebind the band's contexts to
+//           it, spawn the band's node programs;
+//   Window  run every event strictly before the window edge;
+//   Finish  rebind contexts to the machine engine and destroy the band
+//           engine on the thread that created its coroutine frames.
+//
+// Between Window commands the coordinator (alone, workers parked)
+// replays every captured LaunchIntent against the shared NetworkModel
+// in (call time, src, capture order) order — the same order the
+// sequential engine would have made those transfer() calls, up to
+// same-picosecond cross-rank ties. All inter-band memory visibility
+// rides on the BurstGate's release/acquire pairs; no band state needs
+// atomics of its own.
+#include "nx/parallel_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/barrier.hpp"
+#include "util/assert.hpp"
+
+namespace hpccsim::nx::par {
+namespace {
+
+/// Upper bound on bands: beyond this, window synchronization overhead
+/// outgrows any realistic host's ability to pay it back.
+constexpr int kMaxBands = 32;
+
+/// One contiguous rank band. Written by exactly one thread during a
+/// command; the coordinator reads/writes between commands (visibility
+/// via the BurstGate). Padded so neighbouring bands never share a line.
+struct alignas(64) Band {
+  int first = 0;  ///< first rank (inclusive)
+  int last = -1;  ///< last rank (inclusive)
+  std::unique_ptr<sim::Engine> engine;
+  std::vector<LaunchIntent> intents;  ///< captured during the window
+  obs::Registry coll_registry;        ///< band-private collective hists
+  std::int64_t next_ps = sim::Engine::kNoPendingEvent;
+  std::exception_ptr error;
+  // Worker-thread payload-pool baselines/deltas (stats are
+  // thread-local; band 0's delta is part of the machine thread's own).
+  std::uint64_t pool_base_values = 0;
+  std::uint64_t pool_base_sized = 0;
+  std::uint64_t pool_values = 0;
+  std::uint64_t pool_sized = 0;
+};
+
+/// The command the coordinator publishes before each BurstGate issue.
+struct Job {
+  enum Cmd { Start, Window, Finish };
+  Cmd cmd = Start;
+  std::int64_t start_ps = 0;       ///< machine clock at run start
+  std::int64_t window_end_ps = 0;  ///< exclusive edge for Window
+  NxMachine* machine = nullptr;
+  const NxMachine::Program* spmd = nullptr;
+  const std::vector<NxMachine::Program>* per_node = nullptr;
+  std::vector<Band>* bands = nullptr;
+};
+
+/// Executes one command for one band on the current thread. Never
+/// throws: a failure parks the band (sentinel next_ps) and records the
+/// exception for the coordinator to rethrow in band order.
+void run_band_command(const Job& job, Band& b) {
+  try {
+    switch (job.cmd) {
+      case Job::Start: {
+        const detail::PayloadPoolStats& ps = detail::payload_pool_stats();
+        b.pool_base_values = ps.acquires;
+        b.pool_base_sized = ps.sized_acquires;
+        b.engine = std::make_unique<sim::Engine>();
+        b.engine->run_until(sim::Time::ps(job.start_ps));
+        for (int r = b.first; r <= b.last; ++r) {
+          NxContext& ctx = job.machine->context(r);
+          ctx.set_engine(*b.engine);
+          ctx.set_intent_sink(&b.intents);
+          ctx.set_collective_registry(&b.coll_registry);
+        }
+        for (int r = b.first; r <= b.last; ++r) {
+          NxContext& ctx = job.machine->context(r);
+          b.engine->spawn(
+              job.spmd ? (*job.spmd)(ctx) : (*job.per_node)[r](ctx),
+              "node" + std::to_string(r));
+        }
+        b.next_ps = b.engine->next_event_time_ps();
+        break;
+      }
+      case Job::Window: {
+        b.engine->run_window(sim::Time::ps(job.window_end_ps));
+        b.next_ps = b.engine->next_event_time_ps();
+        break;
+      }
+      case Job::Finish: {
+        for (int r = b.first; r <= b.last; ++r) {
+          NxContext& ctx = job.machine->context(r);
+          ctx.set_engine(job.machine->engine());
+          ctx.set_intent_sink(nullptr);
+          ctx.set_collective_registry(nullptr);
+        }
+        // Destroy the band engine here, on the thread whose FrameArena
+        // allocated its coroutine frames.
+        b.engine.reset();
+        const detail::PayloadPoolStats& ps = detail::payload_pool_stats();
+        b.pool_values = ps.acquires - b.pool_base_values;
+        b.pool_sized = ps.sized_acquires - b.pool_base_sized;
+        break;
+      }
+    }
+  } catch (...) {
+    b.error = std::current_exception();
+    b.next_ps = sim::Engine::kNoPendingEvent;
+  }
+}
+
+/// Persistent worker pool. Workers park on the BurstGate between
+/// commands; worker i drives band i+1 (band 0 is the coordinator's).
+/// The mutex serializes whole runs, so concurrent machines (or
+/// util/parallel.hpp sweeps that run parallel machines) queue up rather
+/// than interleave commands.
+class WorkerPool {
+ public:
+  static WorkerPool& instance() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  std::mutex& run_mutex() { return mu_; }
+
+  /// Grow the pool to at least `workers` threads (run_mutex held). A
+  /// new worker's `seen` generation starts at the current issue count
+  /// so it can never execute a command issued before it existed.
+  void ensure(int workers) {
+    while (static_cast<int>(threads_.size()) < workers) {
+      const int index = static_cast<int>(threads_.size());
+      const std::uint64_t seen = issued_;
+      threads_.emplace_back(
+          [this, index, seen] { worker_main(index, seen); });
+    }
+  }
+
+  /// Publish `job` to every worker, run band 0's share on this thread,
+  /// and block until all workers check in (workers whose band index is
+  /// beyond this run's band count check in without touching anything).
+  void dispatch(const Job& job) {
+    job_ = &job;
+    gate_.issue();
+    ++issued_;
+    run_band_command(job, (*job.bands)[0]);
+    gate_.join(static_cast<int>(threads_.size()));
+  }
+
+ private:
+  WorkerPool() = default;
+  ~WorkerPool() {
+    exit_.store(true, std::memory_order_release);
+    gate_.issue();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void worker_main(int index, std::uint64_t seen) {
+    for (;;) {
+      seen = gate_.await_command(seen);
+      if (exit_.load(std::memory_order_acquire)) return;
+      const Job* job = job_;
+      if (index + 1 < static_cast<int>(job->bands->size()))
+        run_band_command(*job, (*job->bands)[static_cast<std::size_t>(
+                                   index + 1)]);
+      gate_.complete();
+    }
+  }
+
+  BurstGate gate_;
+  std::mutex mu_;
+  std::vector<std::thread> threads_;
+  const Job* job_ = nullptr;
+  std::uint64_t issued_ = 0;  ///< commands issued (mirrors gate gen)
+  std::atomic<bool> exit_{false};
+};
+
+}  // namespace
+
+ParRunTotals run_sharded(NxMachine& machine, int threads,
+                         const NxMachine::Program* spmd,
+                         const std::vector<NxMachine::Program>* per_node) {
+  HPCCSIM_EXPECTS((spmd != nullptr) != (per_node != nullptr));
+  const int nodes = machine.nodes();
+  const int band_count = std::min({threads, kMaxBands, nodes});
+  const std::int64_t lookahead_ps =
+      machine.network().min_transfer_latency().picoseconds();
+  HPCCSIM_EXPECTS(lookahead_ps > 0);
+  const std::int64_t start_ps = machine.engine().now().picoseconds();
+
+  // Contiguous partition: nodes/bands each, remainder to the low bands.
+  std::vector<Band> bands(static_cast<std::size_t>(band_count));
+  const int base = nodes / band_count;
+  const int rem = nodes % band_count;
+  {
+    int first = 0;
+    for (int i = 0; i < band_count; ++i) {
+      const int size = base + (i < rem ? 1 : 0);
+      bands[static_cast<std::size_t>(i)].first = first;
+      bands[static_cast<std::size_t>(i)].last = first + size - 1;
+      first += size;
+    }
+  }
+  // Closed-form inverse of the partition above.
+  const int cut = rem * (base + 1);
+  auto band_of = [base, rem, cut](int r) {
+    return r < cut ? r / (base + 1) : rem + (r - cut) / base;
+  };
+
+  WorkerPool& pool = WorkerPool::instance();
+  std::lock_guard<std::mutex> run_lock(pool.run_mutex());
+  pool.ensure(band_count - 1);
+
+  Job job;
+  job.start_ps = start_ps;
+  job.machine = &machine;
+  job.spmd = spmd;
+  job.per_node = per_node;
+  job.bands = &bands;
+
+  ParRunTotals totals;
+  totals.runs = 1;
+  totals.bands = band_count;
+
+  mesh::NetworkModel& net = machine.network();
+  std::vector<LaunchIntent> merged;
+  std::exception_ptr coord_error;
+  try {
+    job.cmd = Job::Start;
+    pool.dispatch(job);
+
+    std::int64_t prev_end_ps = 0;
+    bool first_window = true;
+    for (;;) {
+      std::int64_t t0 = sim::Engine::kNoPendingEvent;
+      bool band_failed = false;
+      for (const Band& b : bands) {
+        t0 = std::min(t0, b.next_ps);
+        if (b.error) band_failed = true;
+      }
+      if (band_failed || t0 == sim::Engine::kNoPendingEvent) break;
+
+      if (!first_window && t0 > prev_end_ps) ++totals.window_skips;
+      first_window = false;
+      const std::int64_t end_ps = t0 + lookahead_ps;
+      job.cmd = Job::Window;
+      job.window_end_ps = end_ps;
+      pool.dispatch(job);
+      prev_end_ps = end_ps;
+      ++totals.windows;
+
+      // Serial network phase: workers are parked, so the coordinator
+      // owns the NetworkModel, the trace, and every band engine. Merge
+      // the windows' captured intents into the order the sequential
+      // engine would have issued them: by call time, then by source
+      // rank, then by capture order (a rank lives in exactly one band,
+      // so capture order is that rank's program order). The key is
+      // unique, so plain sort (no allocation) is stable enough.
+      merged.clear();
+      for (Band& b : bands) {
+        for (std::size_t i = 0; i < b.intents.size(); ++i) {
+          b.intents[i].seq = static_cast<std::uint32_t>(i);
+          merged.push_back(std::move(b.intents[i]));
+        }
+        b.intents.clear();
+      }
+      std::sort(merged.begin(), merged.end(),
+                [](const LaunchIntent& a, const LaunchIntent& b) {
+                  return std::tie(a.call_ps, a.src, a.seq) <
+                         std::tie(b.call_ps, b.src, b.seq);
+                });
+      for (LaunchIntent& in : merged) {
+        const sim::Time arrival =
+            net.transfer(in.src, in.dst, in.bytes, in.depart);
+        machine.record_message(MessageTraceRecord{in.depart, arrival,
+                                                  in.src, in.dst, in.tag,
+                                                  in.bytes});
+        Message msg{in.src, in.tag, in.bytes, std::move(in.payload)};
+        NxMachine* m = &machine;
+        const int dst = in.dst;
+        auto deliver = [m, dst, mm = std::move(msg)]() mutable {
+          if (!m->node_state().up(dst)) {
+            m->note_dropped_message();
+            return;
+          }
+          m->context(dst).mailbox().deliver(std::move(mm));
+        };
+        static_assert(sim::Callback::fits_inline<decltype(deliver)>);
+        Band& db = bands[static_cast<std::size_t>(band_of(dst))];
+        // arrival >= end_ps by the lookahead bound, and every band's
+        // clock sits exactly at end_ps after its window — so this
+        // schedule is legal and lands in a later window.
+        db.engine->schedule_call(arrival, std::move(deliver));
+        db.next_ps = std::min(
+            db.next_ps, static_cast<std::int64_t>(arrival.picoseconds()));
+        ++totals.intents;
+        if (band_of(in.src) != band_of(dst)) ++totals.handoffs;
+      }
+    }
+  } catch (...) {
+    coord_error = std::current_exception();
+  }
+
+  std::exception_ptr band_error;
+  for (const Band& b : bands)
+    if (b.error) {
+      band_error = b.error;  // lowest band index, like sequential order
+      break;
+    }
+
+  // Collect engine totals before Finish destroys the band engines.
+  std::int64_t final_ps = start_ps;
+  std::size_t still_blocked = 0;
+  std::string unfinished;
+  if (!coord_error && !band_error) {
+    for (const Band& b : bands) {
+      totals.events += b.engine->events_processed();
+      totals.calls_scheduled += b.engine->calls_scheduled();
+      totals.peak_queue_depth =
+          std::max(totals.peak_queue_depth, b.engine->peak_queue_depth());
+      totals.call_slot_high_water = std::max(
+          totals.call_slot_high_water,
+          static_cast<std::uint64_t>(b.engine->call_slot_high_water()));
+      final_ps = std::max(final_ps, b.engine->last_window_event_ps());
+      still_blocked += b.engine->live_process_count();
+      b.engine->append_unfinished_names(unfinished);
+    }
+    // Band-private collective histograms fold in band (= rank) order;
+    // histogram merge is commutative anyway, so dumps stay identical.
+    for (const Band& b : bands) machine.counters().merge(b.coll_registry);
+  }
+
+  job.cmd = Job::Finish;
+  pool.dispatch(job);
+  for (std::size_t i = 1; i < bands.size(); ++i) {
+    totals.pool_values += bands[i].pool_values;
+    totals.pool_sized += bands[i].pool_sized;
+  }
+
+  if (band_error) std::rethrow_exception(band_error);
+  if (coord_error) std::rethrow_exception(coord_error);
+  if (still_blocked > 0) {
+    // Bands are rank-ordered, so the name list matches the sequential
+    // engine's deadlock report.
+    std::ostringstream os;
+    os << "deadlock: event queue empty but " << still_blocked
+       << " process(es) still blocked:" << unfinished;
+    throw sim::DeadlockError(os.str());
+  }
+
+  // Land the machine clock exactly where the sequential engine's run()
+  // would have left it: the time of the last dispatched event.
+  machine.engine().run_until(sim::Time::ps(final_ps));
+  return totals;
+}
+
+}  // namespace hpccsim::nx::par

@@ -97,6 +97,20 @@ MachineConfig paragon() {
   return m;
 }
 
+MachineConfig columbia() {
+  MachineConfig m = paragon();
+  m.name = "columbia";
+  // The HPCC program's mid-decade target class: a 0.8-Teraflops QCD
+  // machine ("Columbia" lineage) modeled as a 128 x 128 mesh of
+  // Paragon-class nodes — 16,384 ranks, 16,384 x 50 MFLOPS sustained
+  // order of magnitude. Primarily the parallel-engine scale exhibit
+  // (bench/parallel_engine): big enough that rank-band sharding has
+  // real work per band.
+  m.mesh_width = 128;
+  m.mesh_height = 128;
+  return m;
+}
+
 MachineConfig i860_node() {
   MachineConfig m = touchstone_delta();
   m.name = "i860-node";
@@ -109,6 +123,7 @@ MachineConfig machine_by_name(const std::string& name) {
   if (name == "touchstone-delta" || name == "delta") return touchstone_delta();
   if (name == "ipsc860" || name == "gamma") return ipsc860();
   if (name == "paragon" || name == "paragon-xps") return paragon();
+  if (name == "columbia") return columbia();
   if (name == "i860-node" || name == "i860") return i860_node();
   throw std::invalid_argument("unknown machine: " + name);
 }

@@ -69,6 +69,11 @@ MachineConfig ipsc860();
 /// here at 1024 nodes.
 MachineConfig paragon();
 
+/// A 0.8-Teraflops-class QCD machine of the program's mid-decade
+/// roadmap ("Columbia" lineage): 128 x 128 mesh of Paragon-class nodes
+/// (16,384 ranks). The scale exhibit for the rank-band parallel engine.
+MachineConfig columbia();
+
 /// A single-node i860 workstation (for local-kernel experiments).
 MachineConfig i860_node();
 

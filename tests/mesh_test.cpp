@@ -121,7 +121,7 @@ TEST(AnalyticalNet, DisjointRoutesDoNotContend) {
   // Row y=1: nodes 8..15. Route disjoint from 0->1.
   const Time b = net.transfer(8, 9, 10000, Time::zero());
   EXPECT_EQ(a, b);
-  EXPECT_EQ(net.contention_delay_us().max(), 0.0);
+  EXPECT_EQ(net.contention_max_us(), 0.0);
 }
 
 TEST(AnalyticalNet, SharedLinkSerializes) {
@@ -132,7 +132,7 @@ TEST(AnalyticalNet, SharedLinkSerializes) {
   // The second message waits for the first to clear the shared links.
   EXPECT_GT(second, first);
   EXPECT_GE((second - first).as_ms(), 9.9);
-  EXPECT_GT(net.contention_delay_us().max(), 0.0);
+  EXPECT_GT(net.contention_max_us(), 0.0);
 }
 
 TEST(AnalyticalNet, ContentionClearsAfterIdle) {

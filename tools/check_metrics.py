@@ -37,16 +37,30 @@ GATED_METRICS = (
 )
 
 
-def load_metrics(metrics_dir: pathlib.Path) -> dict:
+def load_metrics(metrics_dir: pathlib.Path, failures: list) -> dict:
+    """Scan every metrics file, recording malformed ones in ``failures``.
+
+    A bad file no longer aborts the scan: all load problems are
+    collected alongside the drift failures so one run reports every
+    out-of-band metric and every unreadable file together.
+    """
     current = {}
     for path in sorted(metrics_dir.glob("*.json")):
-        with open(path) as fh:
-            doc = json.load(fh)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as e:
+            failures.append(f"{path}: unreadable metrics file ({e})")
+            continue
         # v2 added the optional top-level "threads" field; both versions
         # carry the gated keys unchanged.
         if doc.get("schema_version") not in (1, 2):
-            sys.exit(f"FAIL {path}: unknown schema_version "
-                     f"{doc.get('schema_version')!r}")
+            failures.append(f"{path}: unknown schema_version "
+                            f"{doc.get('schema_version')!r}")
+            continue
+        if "bench" not in doc:
+            failures.append(f"{path}: missing 'bench' name")
+            continue
         entry = {
             "sim_time_s": doc.get("sim_time_s", 0.0),
             "wall_time_s": doc.get("wall_time_s", 0.0),
@@ -57,8 +71,8 @@ def load_metrics(metrics_dir: pathlib.Path) -> dict:
             if key in doc.get("metrics", {}):
                 entry[key] = doc["metrics"][key]
         current[doc["bench"]] = entry
-    if not current:
-        sys.exit(f"FAIL: no *.json metrics found in {metrics_dir}")
+    if not current and not failures:
+        failures.append(f"no *.json metrics found in {metrics_dir}")
     return current
 
 
@@ -81,9 +95,17 @@ def main() -> int:
                     help="rewrite the baselines file from the current run")
     args = ap.parse_args()
 
-    current = load_metrics(args.metrics_dir)
+    failures = []
+    current = load_metrics(args.metrics_dir, failures)
 
     if args.update:
+        if failures:
+            # Never adopt a partial scan as the new baseline.
+            for f in failures:
+                print(f"FAIL {f}")
+            print(f"\nrefusing --update: {len(failures)} metrics file(s) "
+                  f"failed to load")
+            return 1
         with open(args.baselines, "w") as fh:
             json.dump(current, fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -92,8 +114,6 @@ def main() -> int:
 
     with open(args.baselines) as fh:
         baselines = json.load(fh)
-
-    failures = []
     for bench in sorted(set(baselines) | set(current)):
         if bench not in current:
             failures.append(f"{bench}: in baselines but produced no metrics")
